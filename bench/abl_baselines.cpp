@@ -1,0 +1,33 @@
+// Ablation: mapping baselines beyond the paper's main matrix — the
+// ModelNet-style greedy k-cluster (paper Section 6) and the
+// topology+placement mapping (PLACE, from the authors' earlier work) —
+// against TOP2 and HPROF on the single-AS network, all four paper metrics.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+
+  ScenarioOptions o =
+      experiment_options(/*multi_as=*/false, AppKind::kScaLapack);
+  Scenario scenario(o);
+
+  std::printf("# Ablation: baseline mappings (single-AS, ScaLapack, %d"
+              " engines)\n",
+              o.num_engines);
+  std::printf("# mapping\tT_sec\tMLL_ms\timbalance\tPE\n");
+  for (const MappingKind kind :
+       {MappingKind::kGreedy, MappingKind::kTop, MappingKind::kPlace,
+        MappingKind::kTop2, MappingKind::kHProf}) {
+    std::fprintf(stderr, "[bench] baseline %s...\n",
+                 mapping_kind_name(kind));
+    const ExperimentResult r = scenario.run(kind);
+    std::printf("%s\t%.4f\t%.3f\t%.4f\t%.4f\n", mapping_kind_name(kind),
+                r.metrics.simulation_time_s,
+                to_milliseconds(r.mapping.achieved_mll),
+                r.metrics.load_imbalance, r.metrics.parallel_efficiency);
+  }
+  return 0;
+}

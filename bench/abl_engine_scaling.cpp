@@ -1,0 +1,33 @@
+// Ablation: scalability with engine-node count. The paper fixes 90 engine
+// nodes; this sweep varies N and reports simulation time, achieved MLL,
+// and parallel efficiency for HPROF vs TOP2 — showing how the
+// synchronization cost C(N) erodes flat mappings faster than hierarchical
+// ones as the cluster grows (the regime where HPROF matters most).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+
+  std::printf("# Ablation: engine-count scaling (single-AS, ScaLapack)\n");
+  std::printf("# engines\tmapping\tT_sec\tMLL_ms\timbalance\tPE\n");
+  for (const std::int32_t engines : {8, 16, 24, 48, 90}) {
+    ScenarioOptions o =
+        experiment_options(/*multi_as=*/false, AppKind::kScaLapack);
+    o.num_engines = engines;
+    Scenario scenario(o);
+    for (const MappingKind kind :
+         {MappingKind::kHProf, MappingKind::kTop2}) {
+      std::fprintf(stderr, "[bench] N=%d %s...\n", engines,
+                   mapping_kind_name(kind));
+      const ExperimentResult r = scenario.run(kind);
+      std::printf("%d\t%s\t%.4f\t%.3f\t%.4f\t%.4f\n", engines,
+                  mapping_kind_name(kind), r.metrics.simulation_time_s,
+                  to_milliseconds(r.mapping.achieved_mll),
+                  r.metrics.load_imbalance, r.metrics.parallel_efficiency);
+    }
+  }
+  return 0;
+}

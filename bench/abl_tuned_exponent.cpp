@@ -1,0 +1,41 @@
+// Ablation: the manual latency->weight tuning behind TOP2/PROF2 (paper
+// Section 4.3: "we adjusted the link latency to edge weight converting
+// algorithm... It is not a general solution"). Sweeps the tuning exponent
+// and prints the resulting achieved MLL and predicted efficiency — showing
+// both why the tuning was needed (exponent 1.0 = untuned TOP yields a tiny
+// MLL) and why it is brittle (no single exponent dominates), which is the
+// motivation for HPROF.
+#include <cstdio>
+
+#include "common.hpp"
+#include "lb/mapping.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+
+  ScenarioOptions sopts =
+      experiment_options(/*multi_as=*/false, AppKind::kNone);
+  Scenario scenario(sopts);
+
+  std::printf("# Ablation: TOP2 edge-weight tuning exponent sweep"
+              " (%d routers, %d engines)\n",
+              sopts.num_routers, sopts.num_engines);
+  std::printf("# exponent\tachieved_mll_ms\tbalance\tpredicted_E\n");
+  for (const double exp : {1.0, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0}) {
+    ScenarioOptions o = sopts;  // fresh options; same seed/topology
+    Scenario s2(o);
+    Mapping m = [&] {
+      MappingOptions mo;
+      mo.kind = exp == 1.0 ? MappingKind::kTop : MappingKind::kTop2;
+      mo.num_engines = o.num_engines;
+      mo.cluster.num_engine_nodes = o.num_engines;
+      mo.tuned_exponent = exp;
+      return compute_mapping(s2.network(), mo, nullptr);
+    }();
+    std::printf("%.1f\t%.3f\t%.3f\t%.4f\n", exp,
+                to_milliseconds(m.achieved_mll), m.balance,
+                m.predicted_efficiency);
+  }
+  return 0;
+}

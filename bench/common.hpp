@@ -1,0 +1,49 @@
+// Shared driver for the figure-reproduction benches: builds the paper's
+// evaluation matrix ({ScaLapack, GridNPB} x mapping approaches) at either
+// the default reduced scale or, with MASSF_FULL=1, the paper's full scale
+// (20,000 routers, 90 engine nodes).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/report.hpp"
+#include "sim/scenario.hpp"
+
+namespace massf::bench {
+
+/// Scenario options for one side of the evaluation (single- or multi-AS)
+/// and one application, honoring MASSF_FULL.
+ScenarioOptions experiment_options(bool multi_as, AppKind app);
+
+struct MatrixEntry {
+  AppKind app;
+  MappingKind kind;
+  ExperimentResult result;
+};
+
+/// Runs every (application, mapping) combination. One Scenario per
+/// application (network and profile shared across mappings, as in the
+/// paper's method). Prints progress to stderr.
+std::vector<MatrixEntry> run_matrix(bool multi_as,
+                                    std::span<const AppKind> apps,
+                                    std::span<const MappingKind> kinds);
+
+/// Prints one figure block extracting `select` from each entry.
+void print_figure(const std::string& title, const std::string& unit,
+                  std::span<const MatrixEntry> entries,
+                  const std::function<double(const ExperimentResult&)>& select);
+
+/// The mapping sets used by the paper's figures.
+inline constexpr MappingKind kMainKinds[] = {
+    MappingKind::kHProf, MappingKind::kProf2, MappingKind::kHTop,
+    MappingKind::kTop2};
+/// Figures 7 and 11 additionally show the untuned TOP and PROF.
+inline constexpr MappingKind kAllKinds[] = {
+    MappingKind::kHProf, MappingKind::kProf2, MappingKind::kHTop,
+    MappingKind::kTop2, MappingKind::kProf, MappingKind::kTop};
+inline constexpr AppKind kApps[] = {AppKind::kScaLapack, AppKind::kGridNpb};
+
+}  // namespace massf::bench

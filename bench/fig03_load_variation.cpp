@@ -1,0 +1,43 @@
+// Reproduces paper Figure 3: load variation over the lifetime of the
+// simulation. Runs the single-AS ScaLapack scenario under the HPROF mapping
+// with per-engine load tracing enabled and prints, per virtual-time bin,
+// the min / mean / max / stddev of the per-engine event counts — the spread
+// the paper's chart visualizes (the load on each physical node varies
+// greatly over time).
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+
+  ScenarioOptions opts =
+      experiment_options(/*multi_as=*/false, AppKind::kScaLapack);
+  opts.load_bin = milliseconds(250);
+  Scenario scenario(opts);
+  const ExperimentResult r = scenario.run(MappingKind::kHProf);
+
+  std::printf("# Figure 3: Load Variation over the Lifetime of Simulation\n");
+  std::printf(
+      "# per %.0f ms virtual-time bin: per-engine kernel events\n"
+      "# time_s\tmin\tmean\tmax\tstddev\n",
+      to_milliseconds(opts.load_bin));
+
+  std::size_t max_bins = 0;
+  for (const TimeSeries& ts : r.stats.lp_load) {
+    max_bins = std::max(max_bins, ts.num_bins());
+  }
+  for (std::size_t bin = 0; bin < max_bins; ++bin) {
+    Accumulator acc;
+    for (const TimeSeries& ts : r.stats.lp_load) {
+      acc.add(bin < ts.num_bins() ? ts.bin(bin) : 0.0);
+    }
+    std::printf("%.2f\t%.0f\t%.1f\t%.0f\t%.1f\n",
+                static_cast<double>(bin) * to_seconds(opts.load_bin),
+                acc.min(), acc.mean(), acc.max(), acc.stddev());
+  }
+  return 0;
+}

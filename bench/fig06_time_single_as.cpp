@@ -1,0 +1,16 @@
+// Reproduces paper Figure 6: application simulation time on the single-AS
+// network for {ScaLapack, GridNPB} x {HPROF, PROF2, HTOP, TOP2}.
+// Expected shape: PROF2 < TOP2 (profiles help), HPROF lowest (~40% below
+// the flat mappings for ScaLapack).
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/false, kApps, kMainKinds);
+  print_figure("Figure 6: Simulation Time on Single-AS", "sec", entries,
+               [](const ExperimentResult& r) {
+                 return r.metrics.simulation_time_s;
+               });
+  return 0;
+}

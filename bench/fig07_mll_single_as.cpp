@@ -1,0 +1,16 @@
+// Reproduces paper Figure 7: achieved MLL on the single-AS network,
+// including the untuned TOP and PROF. Expected shape: TOP/PROF achieve tiny
+// MLLs (the motivation for the hierarchical scheme), TOP2/PROF2 moderate,
+// HTOP/HPROF the largest.
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/false, kApps, kAllKinds);
+  print_figure("Figure 7: Achieved MLL on Single-AS", "ms", entries,
+               [](const ExperimentResult& r) {
+                 return to_milliseconds(r.mapping.achieved_mll);
+               });
+  return 0;
+}

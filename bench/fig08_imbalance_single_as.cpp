@@ -1,0 +1,16 @@
+// Reproduces paper Figure 8: load imbalance (normalized stddev of
+// per-engine event rates) on the single-AS network. Expected shape: PROF2
+// below TOP2, HPROF below HTOP (profiles predict load better than
+// bandwidth).
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/false, kApps, kMainKinds);
+  print_figure("Figure 8: Load Imbalance on Single-AS", "normalized stddev",
+               entries, [](const ExperimentResult& r) {
+                 return r.metrics.load_imbalance;
+               });
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces paper Figure 9: parallel efficiency on the single-AS network.
+// Expected shape: HPROF highest (paper: ~40% for ScaLapack, a ~64%
+// improvement over TOP2).
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/false, kApps, kMainKinds);
+  print_figure("Figure 9: Parallel Efficiency on Single-AS", "fraction",
+               entries, [](const ExperimentResult& r) {
+                 return r.metrics.parallel_efficiency;
+               });
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Figure 10: application simulation time on the multi-AS
+// (BGP-routed) network. Expected shape: PROF2 < TOP2 (~21% in the paper),
+// HPROF lowest (~41% below flat); GridNPB gains smaller than ScaLapack
+// (less communication).
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/true, kApps, kMainKinds);
+  print_figure("Figure 10: Simulation Time on Multi-AS", "sec", entries,
+               [](const ExperimentResult& r) {
+                 return r.metrics.simulation_time_s;
+               });
+  return 0;
+}

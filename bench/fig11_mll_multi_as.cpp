@@ -1,0 +1,15 @@
+// Reproduces paper Figure 11: achieved MLL on the multi-AS network,
+// including untuned TOP and PROF. Expected shape: hierarchical approaches
+// up to ~10x the flat MLLs.
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/true, kApps, kAllKinds);
+  print_figure("Figure 11: Achieved MLL on Multi-AS", "ms", entries,
+               [](const ExperimentResult& r) {
+                 return to_milliseconds(r.mapping.achieved_mll);
+               });
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Figure 12: load imbalance on the multi-AS network.
+// Expected shape: larger imbalance than single-AS (BGP decouples traffic
+// from topology), PROF2 below TOP2 (~15%), HPROF below HTOP (~31%) — the
+// profile advantage grows on multi-AS networks.
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/true, kApps, kMainKinds);
+  print_figure("Figure 12: Load Imbalance on Multi-AS", "normalized stddev",
+               entries, [](const ExperimentResult& r) {
+                 return r.metrics.load_imbalance;
+               });
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces paper Figure 13: parallel efficiency on the multi-AS network.
+// Expected shape: HPROF ~40% for ScaLapack, ~64% above TOP2.
+#include "common.hpp"
+
+int main() {
+  using namespace massf;
+  using namespace massf::bench;
+  const auto entries = run_matrix(/*multi_as=*/true, kApps, kMainKinds);
+  print_figure("Figure 13: Parallel Efficiency on Multi-AS", "fraction",
+               entries, [](const ExperimentResult& r) {
+                 return r.metrics.parallel_efficiency;
+               });
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Microbenchmark for the packet-level layer: end-to-end simulated packet
+// throughput (events/second of wall clock) through NetSim including
+// forwarding lookups, queue model, and TCP processing — the constant that
+// determines how much virtual time per second of wall clock the simulator
+// delivers.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "net/netsim.hpp"
+#include "routing/forwarding.hpp"
+#include "topology/brite.hpp"
+
+namespace {
+
+using namespace massf;
+
+void BM_NetSimTcpThroughput(benchmark::State& state) {
+  BriteOptions o;
+  o.num_routers = static_cast<std::int32_t>(state.range(0));
+  o.num_hosts = 64;
+  o.seed = 5;
+  const Network net = generate_flat(o);
+  std::vector<NodeId> dests;
+  for (NodeId h = net.num_routers; h < static_cast<NodeId>(net.nodes.size());
+       ++h) {
+    dests.push_back(net.nodes[static_cast<std::size_t>(h)].attach_router);
+  }
+  const ForwardingPlane fp = ForwardingPlane::build_flat(net, dests);
+  const std::vector<LpId> map(static_cast<std::size_t>(net.num_routers), 0);
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    EngineOptions eo;
+    eo.lookahead = milliseconds(1);
+    eo.end_time = seconds(3600);
+    Engine engine(eo);
+    NetSim sim(net, fp, map, engine, NetSimOptions{});
+    for (int i = 0; i < 32; ++i) {
+      sim.start_flow(engine, milliseconds(1 + i),
+                     net.num_routers + i,
+                     net.num_routers + 32 + (i % 32), 500000,
+                     static_cast<std::uint32_t>(i));
+    }
+    const RunStats stats = engine.run();
+    events += stats.total_events;
+    benchmark::DoNotOptimize(stats.total_events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel(std::to_string(o.num_routers) + " routers");
+}
+BENCHMARK(BM_NetSimTcpThroughput)->Arg(200)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Microbenchmarks for the conservative engine: raw event throughput, the
+// quantity behind the per-event cost calibration in the cluster model.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pdes/engine.hpp"
+
+namespace {
+
+using namespace massf;
+
+// Each handled event schedules the next one (self-chain), so the run
+// measures steady-state queue push/pop + dispatch.
+class ChainLp final : public LogicalProcess {
+ public:
+  explicit ChainLp(SimTime step) : step_(step) {}
+  void handle(Engine& engine, const Event& ev) override {
+    if (ev.a > 0) {
+      engine.schedule(engine.current_lp(), ev.time + step_, 1, ev.a - 1);
+    }
+  }
+
+ private:
+  SimTime step_;
+};
+
+void BM_EventThroughputSingleLp(benchmark::State& state) {
+  const std::uint64_t chain = 200000;
+  for (auto _ : state) {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = seconds(3600);
+    Engine engine(o);
+    engine.add_lp(std::make_unique<ChainLp>(microseconds(10)));
+    engine.schedule(0, 0, 1, chain);
+    const RunStats stats = engine.run();
+    benchmark::DoNotOptimize(stats.total_events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chain));
+}
+BENCHMARK(BM_EventThroughputSingleLp)->Unit(benchmark::kMillisecond);
+
+void BM_EventThroughputManyLps(benchmark::State& state) {
+  const auto lps = static_cast<std::int32_t>(state.range(0));
+  const std::uint64_t chain = 20000;
+  for (auto _ : state) {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = seconds(3600);
+    Engine engine(o);
+    for (std::int32_t i = 0; i < lps; ++i) {
+      engine.add_lp(std::make_unique<ChainLp>(microseconds(100)));
+    }
+    for (std::int32_t i = 0; i < lps; ++i) engine.schedule(i, 0, 1, chain);
+    const RunStats stats = engine.run();
+    benchmark::DoNotOptimize(stats.total_events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chain) * lps);
+}
+BENCHMARK(BM_EventThroughputManyLps)->Arg(4)->Arg(32)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

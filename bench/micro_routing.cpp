@@ -1,0 +1,69 @@
+// Microbenchmarks for the routing substrate: per-destination reverse-SPT
+// computation (what makes 20k-router tables feasible) and the BGP policy
+// fixed-point solve.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "routing/bgp.hpp"
+#include "routing/ospf.hpp"
+#include "topology/brite.hpp"
+#include "topology/mabrite.hpp"
+
+namespace {
+
+using namespace massf;
+
+void BM_OspfPerDestination(benchmark::State& state) {
+  BriteOptions o;
+  o.num_routers = static_cast<std::int32_t>(state.range(0));
+  o.num_hosts = 10;
+  o.seed = 9;
+  const Network net = generate_flat(o);
+  std::vector<NodeId> members(static_cast<std::size_t>(net.num_routers));
+  std::iota(members.begin(), members.end(), NodeId{0});
+  NodeId dest = 0;
+  for (auto _ : state) {
+    OspfDomain ospf(net, members, true);
+    ospf.add_destination(net, dest);
+    dest = (dest + 1) % net.num_routers;
+    benchmark::DoNotOptimize(ospf.num_destinations());
+  }
+  state.SetLabel(std::to_string(o.num_routers) + " routers");
+}
+BENCHMARK(BM_OspfPerDestination)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BgpSolve(benchmark::State& state) {
+  MaBriteOptions o;
+  o.num_as = static_cast<std::int32_t>(state.range(0));
+  o.routers_per_as = 4;
+  o.num_hosts = 10;
+  o.seed = 9;
+  const Network net = generate_multi_as(o);
+  for (auto _ : state) {
+    BgpSolver bgp(net.num_as(), net.as_adjacency);
+    bgp.solve();
+    benchmark::DoNotOptimize(bgp.iterations());
+  }
+  state.SetLabel(std::to_string(o.num_as) + " ASes");
+}
+BENCHMARK(BM_BgpSolve)->Arg(20)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  BriteOptions o;
+  o.num_routers = static_cast<std::int32_t>(state.range(0));
+  o.num_hosts = o.num_routers / 2;
+  for (auto _ : state) {
+    o.seed += 1;
+    const Network net = generate_flat(o);
+    benchmark::DoNotOptimize(net.links.size());
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// The experiment driver: runs a complete load-balance study from a DML
+// configuration file.
+//
+//   ./massf_cli --template            # print a config template and exit
+//   ./massf_cli --config=exp.dml [--mapping=HPROF,TOP2] [--all-metrics]
+//
+// With no --mapping, runs the paper's main four (HPROF, PROF2, HTOP, TOP2).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/report.hpp"
+#include "sim/scenario.hpp"
+#include "sim/scenario_config.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace massf;
+  const Flags flags(argc, argv);
+
+  if (flags.get_bool("template", false)) {
+    ScenarioOptions defaults;
+    defaults.app = AppKind::kScaLapack;
+    std::fputs(write_dml(scenario_options_to_dml(defaults)).c_str(), stdout);
+    return 0;
+  }
+
+  ScenarioOptions opts;
+  if (flags.has("config")) {
+    std::ifstream in(flags.get_string("config", ""));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   flags.get_string("config", "").c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    DmlParseError perr;
+    const auto root = parse_dml(buf.str(), &perr);
+    if (!root) {
+      std::fprintf(stderr, "config parse error at line %d: %s\n", perr.line,
+                   perr.message.c_str());
+      return 1;
+    }
+    std::string error;
+    const auto parsed = scenario_options_from_dml(*root, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "bad config: %s\n", error.c_str());
+      return 1;
+    }
+    opts = *parsed;
+  } else {
+    std::fprintf(stderr,
+                 "no --config given; using built-in defaults "
+                 "(print one with --template)\n");
+    opts.num_routers = 800;
+    opts.num_hosts = 400;
+    opts.num_clients = 120;
+    opts.num_servers = 30;
+    opts.num_engines = 12;
+    opts.end_time = seconds(5);
+    opts.app = AppKind::kScaLapack;
+  }
+
+  std::vector<MappingKind> kinds;
+  if (flags.has("mapping")) {
+    std::stringstream ss(flags.get_string("mapping", ""));
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      const auto k = mapping_kind_from_name(name);
+      if (!k) {
+        std::fprintf(stderr, "unknown mapping '%s'\n", name.c_str());
+        return 1;
+      }
+      kinds.push_back(*k);
+    }
+  } else {
+    kinds = {MappingKind::kHProf, MappingKind::kProf2, MappingKind::kHTop,
+             MappingKind::kTop2};
+  }
+
+  std::printf("experiment: %s, %d routers, %d hosts, %d engines, app=%s, "
+              "%.1f virtual seconds\n",
+              opts.multi_as ? "multi-AS" : "single-AS", opts.num_routers,
+              opts.num_hosts, opts.num_engines, app_kind_name(opts.app),
+              to_seconds(opts.end_time));
+  Scenario scenario(opts);
+  std::printf("%-7s %10s %9s %9s %8s %12s\n", "mapping", "T(sec)", "MLL(ms)",
+              "imbal", "PE", "events");
+  for (const MappingKind kind : kinds) {
+    const ExperimentResult r = scenario.run(kind);
+    std::printf("%-7s %10.3f %9.3f %9.3f %8.3f %12llu\n",
+                mapping_kind_name(kind), r.metrics.simulation_time_s,
+                to_milliseconds(r.mapping.achieved_mll),
+                r.metrics.load_imbalance, r.metrics.parallel_efficiency,
+                static_cast<unsigned long long>(r.metrics.total_events));
+  }
+  return 0;
+}

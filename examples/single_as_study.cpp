@@ -1,0 +1,53 @@
+// The paper's Section 4 experiment in miniature: a large flat (single-AS,
+// OSPF-routed) network with HTTP background traffic and a foreground Grid
+// application, evaluated under all six mapping approaches. Prints the four
+// paper metrics per mapping.
+//
+//   ./single_as_study [--routers=N] [--engines=N] [--seconds=S]
+//                     [--app=scalapack|gridnpb] [--seed=S]
+#include <cstdio>
+#include <string>
+
+#include "sim/report.hpp"
+#include "sim/scenario.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  const massf::Flags flags(argc, argv);
+
+  massf::ScenarioOptions opts;
+  opts.num_routers =
+      static_cast<std::int32_t>(flags.get_int("routers", 1000));
+  opts.num_hosts = opts.num_routers / 2;
+  opts.num_clients = opts.num_hosts / 3;
+  opts.num_servers = opts.num_hosts / 10;
+  opts.num_engines = static_cast<std::int32_t>(flags.get_int("engines", 16));
+  opts.end_time = massf::from_seconds(flags.get_double("seconds", 6.0));
+  opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opts.http.think_time_mean_s = 0.5;
+  opts.app = flags.get_string("app", "scalapack") == "gridnpb"
+                 ? massf::AppKind::kGridNpb
+                 : massf::AppKind::kScaLapack;
+  opts.num_app_hosts = 18;
+
+  std::printf("single-AS study: %d routers, %d hosts, %d engines, app=%s\n",
+              opts.num_routers, opts.num_hosts, opts.num_engines,
+              massf::app_kind_name(opts.app));
+  massf::Scenario scenario(opts);
+
+  std::printf("%-6s %10s %10s %10s %10s %10s\n", "map", "T(sec)", "MLL(ms)",
+              "imbal", "PE", "events");
+  for (const massf::MappingKind kind :
+       {massf::MappingKind::kTop, massf::MappingKind::kTop2,
+        massf::MappingKind::kPlace, massf::MappingKind::kProf,
+        massf::MappingKind::kProf2, massf::MappingKind::kHTop,
+        massf::MappingKind::kHProf}) {
+    const massf::ExperimentResult r = scenario.run(kind);
+    std::printf("%-6s %10.3f %10.3f %10.3f %10.3f %10llu\n",
+                massf::mapping_kind_name(kind), r.metrics.simulation_time_s,
+                massf::to_milliseconds(r.mapping.achieved_mll),
+                r.metrics.load_imbalance, r.metrics.parallel_efficiency,
+                static_cast<unsigned long long>(r.metrics.total_events));
+  }
+  return 0;
+}

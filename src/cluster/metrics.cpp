@@ -1,0 +1,25 @@
+#include "cluster/metrics.hpp"
+
+#include "util/stats.hpp"
+
+namespace massf {
+
+SimulationMetrics compute_metrics(const RunStats& stats,
+                                  const ClusterModel& cluster) {
+  SimulationMetrics m;
+  m.simulation_time_s = stats.modeled_wall_s;
+  m.total_events = stats.total_events;
+  m.num_windows = stats.num_windows;
+  const std::vector<double> rates = stats.event_rates();
+  m.load_imbalance = load_imbalance(rates);
+  m.parallel_efficiency = parallel_efficiency(
+      static_cast<double>(stats.total_events),
+      cluster.max_event_rate_per_node(), stats.events_per_lp.size(),
+      stats.modeled_wall_s);
+  m.sync_fraction = stats.modeled_wall_s > 0
+                        ? stats.modeled_sync_s / stats.modeled_wall_s
+                        : 0;
+  return m;
+}
+
+}  // namespace massf

@@ -1,0 +1,24 @@
+// The paper's evaluation metrics (Section 4.1), computed from an engine
+// run and the cluster model.
+#pragma once
+
+#include "cluster/cost_model.hpp"
+#include "pdes/engine.hpp"
+
+namespace massf {
+
+struct SimulationMetrics {
+  double simulation_time_s = 0;   ///< T: modeled parallel wall clock
+  double load_imbalance = 0;      ///< normalized stddev of event rates
+  double parallel_efficiency = 0; ///< PE(N, L)
+  double sync_fraction = 0;       ///< share of T spent synchronizing
+  std::uint64_t total_events = 0;
+  std::uint64_t num_windows = 0;
+};
+
+/// Derives the metrics from a finished run. PE uses the paper's
+/// approximation Tseq = TotalEventNumber / MaximalEventRateOnEachNode.
+SimulationMetrics compute_metrics(const RunStats& stats,
+                                  const ClusterModel& cluster);
+
+}  // namespace massf

@@ -1,0 +1,262 @@
+#include "dml/dml.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace massf {
+namespace {
+
+struct Token {
+  enum Kind { kAtom, kOpen, kClose, kEnd } kind = kEnd;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) {
+      t.kind = Token::kEnd;
+      return t;
+    }
+    const char c = text_[pos_];
+    if (c == '[') {
+      ++pos_;
+      t.kind = Token::kOpen;
+      return t;
+    }
+    if (c == ']') {
+      ++pos_;
+      t.kind = Token::kClose;
+      return t;
+    }
+    t.kind = Token::kAtom;
+    if (c == '"') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\n') ++line_;
+        t.text.push_back(text_[pos_++]);
+      }
+      if (pos_ < text_.size()) ++pos_;  // closing quote
+      return t;
+    }
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '[' && text_[pos_] != ']' && text_[pos_] != '#') {
+      t.text.push_back(text_[pos_++]);
+    }
+    return t;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' || (c == '/' && pos_ + 1 < text_.size() &&
+                              text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// Parses the body of a list (after '['), or the whole document when
+// `top_level`. Returns false on error.
+bool parse_list(Lexer& lex, DmlNode& node, bool top_level,
+                DmlParseError* error) {
+  for (;;) {
+    Token key = lex.next();
+    if (key.kind == Token::kEnd) {
+      if (top_level) return true;
+      if (error) *error = {"unexpected end of input inside [ ]", key.line};
+      return false;
+    }
+    if (key.kind == Token::kClose) {
+      if (top_level) {
+        if (error) *error = {"unbalanced ']'", key.line};
+        return false;
+      }
+      return true;
+    }
+    if (key.kind != Token::kAtom) {
+      if (error) *error = {"expected a key", key.line};
+      return false;
+    }
+    Token value = lex.next();
+    if (value.kind == Token::kAtom) {
+      DmlAttribute attr;
+      attr.key = std::move(key.text);
+      attr.atom = std::move(value.text);
+      node.attributes.push_back(std::move(attr));
+    } else if (value.kind == Token::kOpen) {
+      DmlAttribute attr;
+      attr.key = std::move(key.text);
+      attr.child = std::make_unique<DmlNode>();
+      if (!parse_list(lex, *attr.child, false, error)) return false;
+      node.attributes.push_back(std::move(attr));
+    } else {
+      if (error) {
+        *error = {"key '" + key.text + "' has no value", value.line};
+      }
+      return false;
+    }
+  }
+}
+
+[[noreturn]] void config_error(std::string_view key, const char* what) {
+  std::fprintf(stderr, "DML configuration error: attribute '%.*s' %s\n",
+               static_cast<int>(key.size()), key.data(), what);
+  std::abort();
+}
+
+void write_node(const DmlNode& node, std::ostringstream& os, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const DmlAttribute& attr : node.attributes) {
+    if (attr.child) {
+      os << indent << attr.key << " [\n";
+      write_node(*attr.child, os, depth + 1);
+      os << indent << "]\n";
+    } else {
+      // Quote atoms containing whitespace or special characters.
+      const bool needs_quotes =
+          attr.atom.empty() ||
+          attr.atom.find_first_of(" \t\n[]#\"") != std::string::npos;
+      os << indent << attr.key << ' ';
+      if (needs_quotes) {
+        os << '"' << attr.atom << '"';
+      } else {
+        os << attr.atom;
+      }
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+const DmlNode* DmlNode::find(std::string_view key) const {
+  for (const DmlAttribute& attr : attributes) {
+    if (attr.key == key && attr.child) return attr.child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const DmlNode*> DmlNode::find_all(std::string_view key) const {
+  std::vector<const DmlNode*> result;
+  for (const DmlAttribute& attr : attributes) {
+    if (attr.key == key && attr.child) result.push_back(attr.child.get());
+  }
+  return result;
+}
+
+std::optional<std::string> DmlNode::atom(std::string_view key) const {
+  for (const DmlAttribute& attr : attributes) {
+    if (attr.key == key && !attr.child) return attr.atom;
+  }
+  return std::nullopt;
+}
+
+std::string DmlNode::require_string(std::string_view key) const {
+  auto v = atom(key);
+  if (!v) config_error(key, "is missing");
+  return *v;
+}
+
+std::int64_t DmlNode::require_int(std::string_view key) const {
+  const std::string v = require_string(key);
+  char* end = nullptr;
+  const std::int64_t result = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    config_error(key, "is not an integer");
+  }
+  return result;
+}
+
+double DmlNode::require_double(std::string_view key) const {
+  const std::string v = require_string(key);
+  char* end = nullptr;
+  const double result = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    config_error(key, "is not a number");
+  }
+  return result;
+}
+
+std::int64_t DmlNode::get_int(std::string_view key,
+                              std::int64_t fallback) const {
+  return atom(key) ? require_int(key) : fallback;
+}
+
+double DmlNode::get_double(std::string_view key, double fallback) const {
+  return atom(key) ? require_double(key) : fallback;
+}
+
+std::string DmlNode::get_string(std::string_view key,
+                                std::string fallback) const {
+  auto v = atom(key);
+  return v ? *v : std::move(fallback);
+}
+
+void DmlNode::add_atom(std::string key, std::string value) {
+  DmlAttribute attr;
+  attr.key = std::move(key);
+  attr.atom = std::move(value);
+  attributes.push_back(std::move(attr));
+}
+
+void DmlNode::add_atom(std::string key, std::int64_t value) {
+  add_atom(std::move(key), std::to_string(value));
+}
+
+void DmlNode::add_atom(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  add_atom(std::move(key), std::string(buf));
+}
+
+DmlNode& DmlNode::add_child(std::string key) {
+  DmlAttribute attr;
+  attr.key = std::move(key);
+  attr.child = std::make_unique<DmlNode>();
+  attributes.push_back(std::move(attr));
+  return *attributes.back().child;
+}
+
+std::optional<DmlNode> parse_dml(std::string_view text,
+                                 DmlParseError* error) {
+  Lexer lex(text);
+  DmlNode root;
+  if (!parse_list(lex, root, /*top_level=*/true, error)) return std::nullopt;
+  return root;
+}
+
+std::string write_dml(const DmlNode& root) {
+  std::ostringstream os;
+  write_node(root, os, 0);
+  return os.str();
+}
+
+}  // namespace massf

@@ -1,0 +1,85 @@
+// DML (Domain Model Language) — the configuration format of SSF-family
+// simulators. MaSSF "use[s] a network configuration interface similar to
+// ... SSFNet" and expresses BGP policies "in the simulator input Domain
+// Model Language (DML) file" (paper Sections 2.1 and 5.1.2); this module
+// provides the format.
+//
+// DML is a nested list of key-value pairs:
+//
+//   Net [
+//     frequency 1000000000
+//     router [ id 3  interface [ id 0 bitrate 1e8 latency 0.0001 ] ]
+//     # comments run to end of line
+//   ]
+//
+// A value is either an atom (bare word, number, or "quoted string") or a
+// bracketed child list. Keys repeat freely (e.g. many `router` entries).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace massf {
+
+class DmlNode;
+
+/// One key-value attribute; the value is an atom xor a child node.
+struct DmlAttribute {
+  std::string key;
+  std::string atom;                    ///< valid when child == nullptr
+  std::unique_ptr<DmlNode> child;      ///< valid when non-null
+};
+
+class DmlNode {
+ public:
+  DmlNode() = default;
+  DmlNode(DmlNode&&) = default;
+  DmlNode& operator=(DmlNode&&) = default;
+
+  std::vector<DmlAttribute> attributes;
+
+  /// First child list under `key`, or nullptr.
+  const DmlNode* find(std::string_view key) const;
+
+  /// All child lists under `key`, in document order.
+  std::vector<const DmlNode*> find_all(std::string_view key) const;
+
+  /// First atom under `key`.
+  std::optional<std::string> atom(std::string_view key) const;
+
+  /// Typed accessors; abort with a parse-style error message when the key
+  /// is missing or malformed (configuration errors must be loud).
+  std::string require_string(std::string_view key) const;
+  std::int64_t require_int(std::string_view key) const;
+  double require_double(std::string_view key) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  std::string get_string(std::string_view key, std::string fallback) const;
+
+  // -- construction helpers (for writers) ---------------------------------
+  void add_atom(std::string key, std::string value);
+  void add_atom(std::string key, std::int64_t value);
+  void add_atom(std::string key, double value);
+  DmlNode& add_child(std::string key);
+};
+
+struct DmlParseError {
+  std::string message;
+  int line = 0;
+};
+
+/// Parses a DML document. On success returns the root node (the document's
+/// top-level attribute list); on failure returns the error via `error` and
+/// nullopt.
+std::optional<DmlNode> parse_dml(std::string_view text,
+                                 DmlParseError* error = nullptr);
+
+/// Serializes a node tree back to DML text (stable formatting; output
+/// re-parses to an identical tree).
+std::string write_dml(const DmlNode& root);
+
+}  // namespace massf

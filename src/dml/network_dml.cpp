@@ -1,0 +1,215 @@
+#include "dml/network_dml.hpp"
+
+#include <cstdio>
+
+namespace massf {
+namespace {
+
+const char* class_name(AsClass c) {
+  switch (c) {
+    case AsClass::kCore:
+      return "core";
+    case AsClass::kRegional:
+      return "regional";
+    case AsClass::kStub:
+      return "stub";
+  }
+  return "?";
+}
+
+std::optional<AsClass> class_from(const std::string& s) {
+  if (s == "core") return AsClass::kCore;
+  if (s == "regional") return AsClass::kRegional;
+  if (s == "stub") return AsClass::kStub;
+  return std::nullopt;
+}
+
+const char* rel_name(AsRel r) {
+  switch (r) {
+    case AsRel::kProvider:
+      return "provider";
+    case AsRel::kCustomer:
+      return "customer";
+    case AsRel::kPeer:
+      return "peer";
+  }
+  return "?";
+}
+
+std::optional<AsRel> rel_from(const std::string& s) {
+  if (s == "provider") return AsRel::kProvider;
+  if (s == "customer") return AsRel::kCustomer;
+  if (s == "peer") return AsRel::kPeer;
+  return std::nullopt;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+}  // namespace
+
+DmlNode network_to_dml(const Network& net) {
+  DmlNode root;
+  DmlNode& n = root.add_child("Net");
+
+  for (NodeId id = 0; id < static_cast<NodeId>(net.nodes.size()); ++id) {
+    const NetNode& node = net.nodes[static_cast<std::size_t>(id)];
+    DmlNode& e = n.add_child(net.is_router(id) ? "router" : "host");
+    e.add_atom("id", static_cast<std::int64_t>(id));
+    e.add_atom("as", static_cast<std::int64_t>(node.as_id));
+    if (net.is_host(id)) {
+      e.add_atom("attach", static_cast<std::int64_t>(node.attach_router));
+    }
+    e.add_atom("x", node.x);
+    e.add_atom("y", node.y);
+  }
+
+  for (const NetLink& l : net.links) {
+    DmlNode& e = n.add_child("link");
+    e.add_atom("a", static_cast<std::int64_t>(l.a));
+    e.add_atom("b", static_cast<std::int64_t>(l.b));
+    e.add_atom("latency_ns", static_cast<std::int64_t>(l.latency));
+    e.add_atom("bandwidth_bps", l.bandwidth_bps);
+    e.add_atom("inter_as", static_cast<std::int64_t>(l.inter_as ? 1 : 0));
+  }
+
+  for (std::size_t a = 0; a < net.as_info.size(); ++a) {
+    const AsInfo& info = net.as_info[a];
+    DmlNode& e = n.add_child("as");
+    e.add_atom("id", static_cast<std::int64_t>(a));
+    e.add_atom("class", std::string(class_name(info.cls)));
+    e.add_atom("first_router", static_cast<std::int64_t>(info.first_router));
+    e.add_atom("num_routers", static_cast<std::int64_t>(info.num_routers));
+    e.add_atom("cx", info.center_x);
+    e.add_atom("cy", info.center_y);
+  }
+
+  for (const AsAdjacency& adj : net.as_adjacency) {
+    DmlNode& e = n.add_child("adjacency");
+    e.add_atom("a", static_cast<std::int64_t>(adj.as_a));
+    e.add_atom("b", static_cast<std::int64_t>(adj.as_b));
+    e.add_atom("rel", std::string(rel_name(adj.rel_ab)));
+    e.add_atom("link", static_cast<std::int64_t>(adj.link));
+  }
+  return root;
+}
+
+std::optional<Network> network_from_dml(const DmlNode& root,
+                                        std::string* error) {
+  const DmlNode* n = root.find("Net");
+  if (n == nullptr) {
+    fail(error, "missing top-level Net [ ] block");
+    return std::nullopt;
+  }
+
+  Network net;
+  const auto routers = n->find_all("router");
+  const auto hosts = n->find_all("host");
+  net.nodes.resize(routers.size() + hosts.size());
+  net.num_routers = static_cast<std::int32_t>(routers.size());
+
+  for (const DmlNode* r : routers) {
+    const auto id = static_cast<NodeId>(r->require_int("id"));
+    if (id < 0 || id >= net.num_routers) {
+      fail(error, "router id " + std::to_string(id) +
+                      " outside the contiguous router range");
+      return std::nullopt;
+    }
+    NetNode& node = net.nodes[static_cast<std::size_t>(id)];
+    node.kind = NodeKind::kRouter;
+    node.as_id = static_cast<AsId>(r->get_int("as", 0));
+    node.x = r->get_double("x", 0);
+    node.y = r->get_double("y", 0);
+  }
+  for (const DmlNode* h : hosts) {
+    const auto id = static_cast<NodeId>(h->require_int("id"));
+    if (id < net.num_routers ||
+        id >= static_cast<NodeId>(net.nodes.size())) {
+      fail(error, "host id " + std::to_string(id) +
+                      " outside the contiguous host range");
+      return std::nullopt;
+    }
+    NetNode& node = net.nodes[static_cast<std::size_t>(id)];
+    node.kind = NodeKind::kHost;
+    node.as_id = static_cast<AsId>(h->get_int("as", 0));
+    node.attach_router = static_cast<NodeId>(h->require_int("attach"));
+    node.x = h->get_double("x", 0);
+    node.y = h->get_double("y", 0);
+  }
+
+  for (const DmlNode* l : n->find_all("link")) {
+    NetLink link;
+    link.a = static_cast<NodeId>(l->require_int("a"));
+    link.b = static_cast<NodeId>(l->require_int("b"));
+    link.latency = l->require_int("latency_ns");
+    link.bandwidth_bps = l->require_double("bandwidth_bps");
+    link.inter_as = l->get_int("inter_as", 0) != 0;
+    net.links.push_back(link);
+  }
+
+  const auto as_blocks = n->find_all("as");
+  net.as_info.resize(as_blocks.size());
+  for (const DmlNode* a : as_blocks) {
+    const auto id = static_cast<std::size_t>(a->require_int("id"));
+    if (id >= net.as_info.size()) {
+      fail(error, "as id out of range");
+      return std::nullopt;
+    }
+    AsInfo& info = net.as_info[id];
+    const auto cls = class_from(a->require_string("class"));
+    if (!cls) {
+      fail(error, "unknown AS class '" + a->require_string("class") + "'");
+      return std::nullopt;
+    }
+    info.cls = *cls;
+    info.first_router = static_cast<NodeId>(a->require_int("first_router"));
+    info.num_routers =
+        static_cast<std::int32_t>(a->require_int("num_routers"));
+    info.center_x = a->get_double("cx", 0);
+    info.center_y = a->get_double("cy", 0);
+  }
+
+  for (const DmlNode* adj : n->find_all("adjacency")) {
+    AsAdjacency e;
+    e.as_a = static_cast<AsId>(adj->require_int("a"));
+    e.as_b = static_cast<AsId>(adj->require_int("b"));
+    const auto rel = rel_from(adj->require_string("rel"));
+    if (!rel) {
+      fail(error, "unknown relationship '" + adj->require_string("rel") + "'");
+      return std::nullopt;
+    }
+    e.rel_ab = *rel;
+    e.link = static_cast<LinkId>(adj->require_int("link"));
+    net.as_adjacency.push_back(e);
+  }
+
+  net.build_adjacency();
+  const std::string problem = net.validate();
+  if (!problem.empty()) {
+    fail(error, "invalid network: " + problem);
+    return std::nullopt;
+  }
+  return net;
+}
+
+std::string network_to_dml_text(const Network& net) {
+  return write_dml(network_to_dml(net));
+}
+
+std::optional<Network> network_from_dml_text(std::string_view text,
+                                             std::string* error) {
+  DmlParseError perr;
+  auto root = parse_dml(text, &perr);
+  if (!root) {
+    if (error) {
+      *error = "parse error at line " + std::to_string(perr.line) + ": " +
+               perr.message;
+    }
+    return std::nullopt;
+  }
+  return network_from_dml(*root, error);
+}
+
+}  // namespace massf

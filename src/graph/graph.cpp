@@ -1,0 +1,175 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+Weight Graph::incident_weight(VertexId v) const {
+  Weight total = 0;
+  for (Weight w : arc_weights(v)) total += w;
+  return total;
+}
+
+void Graph::set_vertex_weights(std::vector<Weight> w) {
+  MASSF_CHECK(static_cast<VertexId>(w.size()) == num_vertices());
+  vwgt_ = std::move(w);
+  total_vwgt_ = std::accumulate(vwgt_.begin(), vwgt_.end(), Weight{0});
+}
+
+void Graph::set_edge_weights(std::vector<Weight> w) {
+  MASSF_CHECK(static_cast<EdgeId>(w.size()) == num_edges());
+  edge_w_ = std::move(w);
+  for (std::size_t arc = 0; arc < adjwgt_.size(); ++arc) {
+    adjwgt_[arc] = edge_w_[static_cast<std::size_t>(arc_edge_[arc])];
+  }
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : nv_(num_vertices), vwgt_(static_cast<std::size_t>(num_vertices), 1) {
+  MASSF_CHECK(num_vertices >= 0);
+}
+
+void GraphBuilder::set_vertex_weight(VertexId v, Weight w) {
+  MASSF_CHECK(v >= 0 && v < nv_);
+  MASSF_CHECK(w >= 0);
+  vwgt_[v] = w;
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, Weight w) {
+  MASSF_CHECK(u >= 0 && u < nv_ && v >= 0 && v < nv_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, w});
+}
+
+Graph GraphBuilder::build() {
+  // Merge duplicate edges.
+  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& a, const RawEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<RawEdge> merged;
+  merged.reserve(edges_.size());
+  for (const RawEdge& e : edges_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().w += e.w;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.vwgt_ = std::move(vwgt_);
+  g.total_vwgt_ = std::accumulate(g.vwgt_.begin(), g.vwgt_.end(), Weight{0});
+  g.num_edges_ = static_cast<EdgeId>(merged.size());
+  g.edge_u_.reserve(merged.size());
+  g.edge_v_.reserve(merged.size());
+  g.edge_w_.reserve(merged.size());
+  for (const RawEdge& e : merged) {
+    g.edge_u_.push_back(e.u);
+    g.edge_v_.push_back(e.v);
+    g.edge_w_.push_back(e.w);
+  }
+
+  // CSR over both arc directions.
+  g.xadj_.assign(static_cast<std::size_t>(nv_) + 1, 0);
+  for (const RawEdge& e : merged) {
+    ++g.xadj_[static_cast<std::size_t>(e.u) + 1];
+    ++g.xadj_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < g.xadj_.size(); ++i) g.xadj_[i] += g.xadj_[i - 1];
+
+  const std::size_t narcs = merged.size() * 2;
+  g.adjncy_.resize(narcs);
+  g.adjwgt_.resize(narcs);
+  g.arc_edge_.resize(narcs);
+  std::vector<std::int32_t> cursor(g.xadj_.begin(), g.xadj_.end() - 1);
+  for (EdgeId e = 0; e < g.num_edges_; ++e) {
+    const VertexId u = g.edge_u_[e], v = g.edge_v_[e];
+    const Weight w = g.edge_w_[e];
+    auto& cu = cursor[static_cast<std::size_t>(u)];
+    g.adjncy_[static_cast<std::size_t>(cu)] = v;
+    g.adjwgt_[static_cast<std::size_t>(cu)] = w;
+    g.arc_edge_[static_cast<std::size_t>(cu)] = e;
+    ++cu;
+    auto& cv = cursor[static_cast<std::size_t>(v)];
+    g.adjncy_[static_cast<std::size_t>(cv)] = u;
+    g.adjwgt_[static_cast<std::size_t>(cv)] = w;
+    g.arc_edge_[static_cast<std::size_t>(cv)] = e;
+    ++cv;
+  }
+  edges_.clear();
+  return g;
+}
+
+Graph contract(const Graph& g, std::span<const VertexId> cluster,
+               VertexId num_clusters, std::span<const std::int64_t> edge_aux,
+               std::vector<EdgeId>* edge_origin) {
+  MASSF_CHECK(static_cast<VertexId>(cluster.size()) == g.num_vertices());
+  GraphBuilder builder(num_clusters);
+
+  std::vector<Weight> cw(static_cast<std::size_t>(num_clusters), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId c = cluster[static_cast<std::size_t>(v)];
+    MASSF_CHECK(c >= 0 && c < num_clusters);
+    cw[static_cast<std::size_t>(c)] += g.vertex_weight(v);
+  }
+  for (VertexId c = 0; c < num_clusters; ++c) {
+    builder.set_vertex_weight(c, cw[static_cast<std::size_t>(c)]);
+  }
+
+  // Track, per contracted (cu, cv) pair, the representative original edge:
+  // the one with the minimum auxiliary value (e.g. smallest link latency),
+  // so the achieved-MLL of the contracted partition can be traced back.
+  struct PairInfo {
+    EdgeId rep;
+    std::int64_t aux;
+  };
+  std::vector<std::pair<std::uint64_t, PairInfo>> pairs;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    VertexId cu = cluster[static_cast<std::size_t>(g.edge_u(e))];
+    VertexId cv = cluster[static_cast<std::size_t>(g.edge_v(e))];
+    if (cu == cv) continue;
+    if (cu > cv) std::swap(cu, cv);
+    builder.add_edge(cu, cv, g.edge_weight(e));
+    if (edge_origin != nullptr) {
+      const std::int64_t aux =
+          edge_aux.empty() ? 0 : edge_aux[static_cast<std::size_t>(e)];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cu)) << 32) |
+          static_cast<std::uint32_t>(cv);
+      pairs.push_back({key, {e, aux}});
+    }
+  }
+
+  Graph out = builder.build();
+
+  if (edge_origin != nullptr) {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second.aux < b.second.aux;
+              });
+    edge_origin->assign(static_cast<std::size_t>(out.num_edges()),
+                        EdgeId{-1});
+    // Contracted edges are sorted by (u, v) in build(); pairs are sorted by
+    // the same key, so walk them in lockstep taking the first (min-aux)
+    // entry of each group.
+    std::size_t p = 0;
+    for (EdgeId e = 0; e < out.num_edges(); ++e) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(out.edge_u(e)))
+           << 32) |
+          static_cast<std::uint32_t>(out.edge_v(e));
+      while (p < pairs.size() && pairs[p].first < key) ++p;
+      MASSF_CHECK(p < pairs.size() && pairs[p].first == key);
+      (*edge_origin)[static_cast<std::size_t>(e)] = pairs[p].second.rep;
+    }
+  }
+  return out;
+}
+
+}  // namespace massf

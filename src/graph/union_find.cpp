@@ -1,0 +1,57 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+UnionFind::UnionFind(VertexId n)
+    : parent_(static_cast<std::size_t>(n)),
+      size_(static_cast<std::size_t>(n), 1),
+      num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), VertexId{0});
+}
+
+VertexId UnionFind::find(VertexId v) {
+  MASSF_DCHECK(v >= 0 && static_cast<std::size_t>(v) < parent_.size());
+  VertexId root = v;
+  while (parent_[static_cast<std::size_t>(root)] != root) {
+    root = parent_[static_cast<std::size_t>(root)];
+  }
+  while (parent_[static_cast<std::size_t>(v)] != root) {
+    VertexId next = parent_[static_cast<std::size_t>(v)];
+    parent_[static_cast<std::size_t>(v)] = root;
+    v = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+    std::swap(a, b);
+  }
+  parent_[static_cast<std::size_t>(b)] = a;
+  size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  --num_sets_;
+  return true;
+}
+
+std::vector<VertexId> UnionFind::compress() {
+  std::vector<VertexId> label(parent_.size(), kInvalidVertex);
+  std::vector<VertexId> result(parent_.size());
+  VertexId next = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(parent_.size()); ++v) {
+    const VertexId root = find(v);
+    auto& l = label[static_cast<std::size_t>(root)];
+    if (l == kInvalidVertex) l = next++;
+    result[static_cast<std::size_t>(v)] = l;
+  }
+  MASSF_CHECK(next == num_sets_);
+  return result;
+}
+
+}  // namespace massf

@@ -1,0 +1,34 @@
+// Disjoint-set forest with path compression and union by size. Used by the
+// hierarchical load balancer to cluster vertices connected by
+// sub-threshold-latency links, and by connectivity checks.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace massf {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n);
+
+  VertexId find(VertexId v);
+
+  /// Returns true if the sets were distinct (a merge happened).
+  bool unite(VertexId a, VertexId b);
+
+  VertexId num_sets() const { return num_sets_; }
+
+  /// Produces a dense relabeling: result[v] in [0, num_sets), with set ids
+  /// assigned in order of first appearance (so the labeling is
+  /// deterministic).
+  std::vector<VertexId> compress();
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> size_;
+  VertexId num_sets_;
+};
+
+}  // namespace massf

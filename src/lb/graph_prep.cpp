@@ -1,0 +1,119 @@
+#include "lb/graph_prep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+std::vector<Weight> top_vertex_weights(const Network& net) {
+  std::vector<Weight> w(static_cast<std::size_t>(net.num_routers), 0);
+  for (const NetLink& l : net.links) {
+    const auto mbps = static_cast<Weight>(l.bandwidth_bps / 1e6);
+    if (net.is_router(l.a)) w[static_cast<std::size_t>(l.a)] += mbps;
+    if (net.is_router(l.b)) w[static_cast<std::size_t>(l.b)] += mbps;
+  }
+  for (auto& x : w) x = std::max<Weight>(x, 1);
+  return w;
+}
+
+std::vector<Weight> prof_vertex_weights(const Network& net,
+                                        const TrafficProfile& profile) {
+  MASSF_CHECK(static_cast<NodeId>(profile.router_events.size()) ==
+              net.num_routers);
+  std::vector<Weight> w(static_cast<std::size_t>(net.num_routers));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<Weight>(profile.router_events[i]) + 1;
+  }
+  return w;
+}
+
+std::vector<Weight> place_vertex_weights(const Network& net,
+                                         std::span<const NodeId> placement) {
+  std::vector<Weight> w = top_vertex_weights(net);
+  for (const NodeId endpoint : placement) {
+    const NodeId router =
+        net.is_host(endpoint)
+            ? net.nodes[static_cast<std::size_t>(endpoint)].attach_router
+            : endpoint;
+    // Boost by a multiple of the endpoint's access bandwidth: an active
+    // endpoint concentrates far more simulation work on its attachment
+    // router than an idle backbone link of the same capacity, so the boost
+    // must be commensurate with typical backbone incident weights or the
+    // placement information drowns in the TOP term.
+    constexpr Weight kEndpointFactor = 20;
+    Weight boost = 100 * kEndpointFactor;  // flat boost for bare routers
+    if (net.is_host(endpoint)) {
+      const auto inc = net.incident(endpoint);
+      MASSF_CHECK(inc.size() == 1);
+      boost = kEndpointFactor *
+              static_cast<Weight>(
+                  net.links[static_cast<std::size_t>(inc[0].link)]
+                      .bandwidth_bps /
+                  1e6);
+    }
+    w[static_cast<std::size_t>(router)] += boost;
+  }
+  return w;
+}
+
+Weight edge_weight_plain(std::int64_t latency_ns) {
+  MASSF_CHECK(latency_ns > 0);
+  const Weight w = static_cast<Weight>(1'000'000'000 / latency_ns);
+  return std::clamp<Weight>(w, 1, 1'000'000'000);
+}
+
+std::vector<Weight> edge_weights_tuned(
+    std::span<const std::int64_t> latencies, double tuned_exponent) {
+  MASSF_CHECK(tuned_exponent >= 1.0);
+  std::vector<double> raw(latencies.size());
+  double max_raw = 0;
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    raw[i] = std::pow(static_cast<double>(edge_weight_plain(latencies[i])),
+                      tuned_exponent);
+    max_raw = std::max(max_raw, raw[i]);
+  }
+  std::vector<Weight> w(latencies.size(), 1);
+  if (max_raw <= 0) return w;
+  const double scale = 1e9 / max_raw;
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    w[i] = std::max<Weight>(1, static_cast<Weight>(raw[i] * scale));
+  }
+  return w;
+}
+
+Graph prepare_graph(const Network& net, MappingKind kind,
+                    const TrafficProfile* profile,
+                    const MappingOptions& opts,
+                    std::vector<std::int64_t>* latencies_out,
+                    std::span<const NodeId> placement) {
+  std::vector<std::int64_t> latencies;
+  Graph g = net.router_graph(&latencies);
+
+  if (mapping_uses_profile(kind)) {
+    MASSF_CHECK(profile != nullptr);
+    g.set_vertex_weights(prof_vertex_weights(net, *profile));
+  } else if (kind == MappingKind::kPlace) {
+    g.set_vertex_weights(place_vertex_weights(net, placement));
+  } else {
+    g.set_vertex_weights(top_vertex_weights(net));
+  }
+
+  const bool tuned =
+      kind == MappingKind::kTop2 || kind == MappingKind::kProf2;
+  if (tuned) {
+    g.set_edge_weights(edge_weights_tuned(latencies, opts.tuned_exponent));
+  } else {
+    std::vector<Weight> w(latencies.size());
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+      w[i] = edge_weight_plain(latencies[i]);
+    }
+    g.set_edge_weights(std::move(w));
+  }
+
+  if (latencies_out != nullptr) *latencies_out = std::move(latencies);
+  return g;
+}
+
+}  // namespace massf

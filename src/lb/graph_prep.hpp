@@ -1,0 +1,52 @@
+// Construction of the partitioner input graph from the network and traffic
+// information (paper Section 3.2 / Figure 4): vertex weights estimate the
+// simulation load per router, edge weights encode the cost of cutting a
+// link (derived from its latency — smaller latency, larger weight).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lb/mapping.hpp"
+#include "topology/network.hpp"
+
+namespace massf {
+
+/// TOP vertex weights: total bandwidth in and out of the router, in Mbps
+/// (includes access links of attached hosts).
+std::vector<Weight> top_vertex_weights(const Network& net);
+
+/// PROF vertex weights: profiled kernel event counts per router (hosts
+/// folded in); all entries get +1 so no vertex is weightless.
+std::vector<Weight> prof_vertex_weights(const Network& net,
+                                        const TrafficProfile& profile);
+
+/// PLACE vertex weights: the TOP weights plus, for every traffic endpoint
+/// in `placement`, an extra boost of the endpoint's access-link bandwidth
+/// on its attachment router — static knowledge of where the application
+/// and background endpoints live, without any profiling run.
+std::vector<Weight> place_vertex_weights(const Network& net,
+                                         std::span<const NodeId> placement);
+
+/// Plain latency -> edge weight conversion: w = 1e9 / latency_ns, clamped
+/// to [1, 1e9] (1 ms -> 1000, 10 us -> 100000).
+Weight edge_weight_plain(std::int64_t latency_ns);
+
+/// Tuned (TOP2/PROF2) conversion: the plain weight raised to
+/// `tuned_exponent` and renormalized so the maximum stays ~1e9. Makes
+/// cutting small-latency links prohibitively expensive — the manual fix
+/// the paper applied to run TOP/PROF at large scale at all.
+std::vector<Weight> edge_weights_tuned(std::span<const std::int64_t> latencies,
+                                       double tuned_exponent);
+
+/// Assembles the partitioner input: router graph with the chosen vertex
+/// weights and per-edge weights. `latencies` must align with the graph's
+/// edge ids (as produced by Network::router_graph).
+Graph prepare_graph(const Network& net, MappingKind kind,
+                    const TrafficProfile* profile,
+                    const MappingOptions& opts,
+                    std::vector<std::int64_t>* latencies_out,
+                    std::span<const NodeId> placement = {});
+
+}  // namespace massf

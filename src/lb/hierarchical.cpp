@@ -1,0 +1,98 @@
+#include "lb/hierarchical.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+#include "partition/partition.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace massf {
+
+std::optional<HierarchicalResult> hierarchical_partition(
+    const Graph& g, std::span<const std::int64_t> latencies,
+    const MappingOptions& opts) {
+  MASSF_CHECK(static_cast<EdgeId>(latencies.size()) == g.num_edges());
+  MASSF_CHECK(opts.num_engines >= 1);
+
+  const SimTime sync = opts.cluster.sync_cost_time(opts.num_engines);
+  // First admissible threshold: smallest multiple of the step strictly
+  // greater than the synchronization cost (Tmll must exceed C_N or all time
+  // goes to synchronization).
+  SimTime tmll = (sync / opts.tmll_step + 1) * opts.tmll_step;
+
+  // Edges sorted by latency so the contraction grows incrementally as the
+  // threshold rises.
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return latencies[static_cast<std::size_t>(a)] <
+           latencies[static_cast<std::size_t>(b)];
+  });
+
+  UnionFind uf(g.num_vertices());
+  std::size_t cursor = 0;
+
+  std::optional<HierarchicalResult> best;
+  std::int32_t tried = 0;
+  for (; tmll <= opts.tmll_max; tmll += opts.tmll_step) {
+    while (cursor < order.size() &&
+           latencies[static_cast<std::size_t>(order[cursor])] < tmll) {
+      const EdgeId e = order[cursor++];
+      uf.unite(g.edge_u(e), g.edge_v(e));
+    }
+    if (uf.num_sets() < opts.num_engines) break;  // not enough parallelism
+
+    const std::vector<VertexId> cluster = uf.compress();
+    std::vector<EdgeId> origin;
+    const Graph dumped =
+        contract(g, cluster, uf.num_sets(), latencies, &origin);
+    std::vector<std::int64_t> dumped_lat(origin.size());
+    for (std::size_t i = 0; i < origin.size(); ++i) {
+      dumped_lat[i] = latencies[static_cast<std::size_t>(origin[i])];
+    }
+
+    PartitionOptions popt;
+    popt.num_parts = opts.num_engines;
+    popt.imbalance_tolerance = opts.imbalance_tolerance;
+    popt.seed = opts.seed;
+    PartitionResult pr = partition_graph(dumped, popt);
+    ++tried;
+
+    SimTime mll = min_cut_edge_aux(dumped, pr.part, dumped_lat);
+    if (mll == std::numeric_limits<std::int64_t>::max()) {
+      // Nothing cut (can only happen for num_engines == 1): the partition
+      // is fully decoupled; treat the window as the sweep ceiling.
+      mll = opts.tmll_max;
+    }
+    const PartitionScore score = score_partition(mll, sync, pr.part_weights);
+
+    if (!best || score.e > best->score.e) {
+      HierarchicalResult r;
+      r.part.resize(static_cast<std::size_t>(g.num_vertices()));
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        r.part[static_cast<std::size_t>(v)] =
+            pr.part[static_cast<std::size_t>(
+                cluster[static_cast<std::size_t>(v)])];
+      }
+      r.tmll = tmll;
+      r.achieved_mll = mll;
+      r.score = score;
+      r.edge_cut = pr.edge_cut;
+      r.balance = pr.balance(dumped.total_vertex_weight());
+      best = std::move(r);
+    }
+  }
+  if (best) {
+    best->candidates_tried = tried;
+    MASSF_LOG(kDebug) << "hierarchical sweep: " << tried
+                      << " candidates, chose Tmll="
+                      << to_milliseconds(best->tmll) << "ms E="
+                      << best->score.e;
+  }
+  return best;
+}
+
+}  // namespace massf

@@ -1,0 +1,157 @@
+#include "lb/mapping.hpp"
+
+#include <limits>
+
+#include "lb/graph_prep.hpp"
+#include "lb/hierarchical.hpp"
+#include "partition/greedy_kcluster.hpp"
+#include "partition/partition.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace massf {
+
+const char* mapping_kind_name(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::kTop:
+      return "TOP";
+    case MappingKind::kTop2:
+      return "TOP2";
+    case MappingKind::kProf:
+      return "PROF";
+    case MappingKind::kProf2:
+      return "PROF2";
+    case MappingKind::kHTop:
+      return "HTOP";
+    case MappingKind::kHProf:
+      return "HPROF";
+    case MappingKind::kPlace:
+      return "PLACE";
+    case MappingKind::kGreedy:
+      return "GREEDY";
+  }
+  return "?";
+}
+
+bool mapping_uses_profile(MappingKind kind) {
+  return kind == MappingKind::kProf || kind == MappingKind::kProf2 ||
+         kind == MappingKind::kHProf;
+}
+
+bool mapping_is_hierarchical(MappingKind kind) {
+  return kind == MappingKind::kHTop || kind == MappingKind::kHProf;
+}
+
+PartitionScore score_partition(SimTime achieved_mll, SimTime sync_cost,
+                               std::span<const Weight> part_loads) {
+  PartitionScore s;
+  if (achieved_mll > 0) {
+    s.es = static_cast<double>(achieved_mll - sync_cost) /
+           static_cast<double>(achieved_mll);
+  }
+  std::vector<double> loads(part_loads.begin(), part_loads.end());
+  s.ec = avg_over_max(loads);
+  s.e = std::max(0.0, s.es) * s.ec;
+  return s;
+}
+
+Mapping compute_mapping(const Network& net, const MappingOptions& opts,
+                        const TrafficProfile* profile,
+                        std::span<const NodeId> placement) {
+  MASSF_CHECK(opts.num_engines >= 1);
+  MASSF_CHECK(opts.kind != MappingKind::kPlace || !placement.empty());
+  std::vector<std::int64_t> latencies;
+  const Graph g =
+      prepare_graph(net, opts.kind, profile, opts, &latencies, placement);
+
+  Mapping m;
+  m.kind = opts.kind;
+  m.num_engines = opts.num_engines;
+
+  if (opts.kind == MappingKind::kGreedy) {
+    Rng rng(opts.seed);
+    const std::vector<VertexId> part =
+        greedy_k_cluster(g, opts.num_engines, rng);
+    m.router_lp.assign(part.begin(), part.end());
+    SimTime mll = min_cut_edge_aux(g, part, latencies);
+    if (mll == std::numeric_limits<std::int64_t>::max()) mll = opts.tmll_max;
+    m.achieved_mll = mll;
+    m.edge_cut = compute_edge_cut(g, part);
+    m.balance = PartitionResult{part, m.edge_cut,
+                                compute_part_weights(g, part,
+                                                     opts.num_engines)}
+                    .balance(g.total_vertex_weight());
+    const PartitionScore score = score_partition(
+        m.achieved_mll, opts.cluster.sync_cost_time(opts.num_engines),
+        compute_part_weights(g, part, opts.num_engines));
+    m.predicted_efficiency = score.e;
+    return m;
+  }
+
+  if (mapping_is_hierarchical(opts.kind)) {
+    if (auto h = hierarchical_partition(g, latencies, opts)) {
+      m.router_lp.assign(h->part.begin(), h->part.end());
+      m.achieved_mll = h->achieved_mll;
+      m.tmll = h->tmll;
+      m.predicted_efficiency = h->score.e;
+      m.edge_cut = h->edge_cut;
+      m.balance = h->balance;
+      return m;
+    }
+    // Fall back to flat partitioning when no admissible threshold exists.
+  }
+
+  PartitionOptions popt;
+  popt.num_parts = opts.num_engines;
+  popt.imbalance_tolerance = opts.imbalance_tolerance;
+  popt.seed = opts.seed;
+
+  const auto partition_once = [&](const Graph& graph) {
+    PartitionResult pr = partition_graph(graph, popt);
+    SimTime mll = min_cut_edge_aux(graph, pr.part, latencies);
+    if (mll == std::numeric_limits<std::int64_t>::max()) {
+      mll = opts.tmll_max;  // single part: fully decoupled
+    }
+    return std::make_pair(std::move(pr), mll);
+  };
+
+  auto [pr, mll] = partition_once(g);
+
+  // TOP2/PROF2 reproduce the paper's manual per-topology tuning ("we
+  // adjusted the link latency to edge weight converting algorithm... It is
+  // not a general solution and has to be done according different
+  // topologies manually"): if the tuned conversion still cuts a link whose
+  // latency cannot amortize the synchronization cost, escalate the
+  // exponent — the automated stand-in for the authors' hand adjustment.
+  if (opts.kind == MappingKind::kTop2 || opts.kind == MappingKind::kProf2) {
+    // Escalate until the window is a few sync costs wide — the operating
+    // point the paper reports for its tuned variants (~0.6 ms MLL against
+    // a ~0.58 ms sync cost would barely break even; their runs behave like
+    // a window of a few sync costs at our engine counts).
+    const SimTime target =
+        3 * opts.cluster.sync_cost_time(opts.num_engines);
+    double exponent = opts.tuned_exponent;
+    Graph tuned = g;
+    while (mll <= target && exponent < 4.1) {
+      exponent += 0.6;
+      tuned.set_edge_weights(edge_weights_tuned(latencies, exponent));
+      auto [pr2, mll2] = partition_once(tuned);
+      if (mll2 > mll) {
+        pr = std::move(pr2);
+        mll = mll2;
+      }
+    }
+  }
+
+  m.router_lp.assign(pr.part.begin(), pr.part.end());
+  m.achieved_mll = mll;
+  m.edge_cut = pr.edge_cut;
+  m.balance = pr.balance(g.total_vertex_weight());
+  const PartitionScore score = score_partition(
+      m.achieved_mll, opts.cluster.sync_cost_time(opts.num_engines),
+      pr.part_weights);
+  m.predicted_efficiency = score.e;
+  return m;
+}
+
+}  // namespace massf

@@ -1,0 +1,96 @@
+// The load-balance mappings studied in the paper: the flat topology-based
+// (TOP) and profile-based (PROF) approaches, their manually-tuned variants
+// (TOP2, PROF2), and the hierarchical variants (HTOP, HPROF) that contract
+// sub-threshold-latency links before partitioning and sweep the threshold
+// Tmll, selecting the candidate maximizing E = Es * Ec
+// (paper Section 3.4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "graph/graph.hpp"
+#include "pdes/event.hpp"
+#include "topology/network.hpp"
+
+namespace massf {
+
+enum class MappingKind {
+  kTop,    ///< static: vertex weight = incident bandwidth, plain edge weights
+  kTop2,   ///< TOP with the hand-tuned latency->weight conversion
+  kProf,   ///< traffic profile vertex weights, plain edge weights
+  kProf2,  ///< PROF with the hand-tuned conversion
+  kHTop,   ///< hierarchical TOP
+  kHProf,  ///< hierarchical PROF
+  /// Topology + static application placement (the authors' earlier middle
+  /// ground between TOP and PROF): routers attaching traffic endpoints get
+  /// their weights boosted by the endpoints' access bandwidth.
+  kPlace,
+  /// ModelNet's greedy k-cluster (paper Section 6) — an unweighted
+  /// region-growing baseline.
+  kGreedy,
+};
+
+const char* mapping_kind_name(MappingKind kind);
+bool mapping_uses_profile(MappingKind kind);
+bool mapping_is_hierarchical(MappingKind kind);
+
+/// Per-network-node kernel-event counts from a profiling run; host counts
+/// are folded into their attachment router (hosts are co-located with it).
+struct TrafficProfile {
+  std::vector<std::uint64_t> router_events;  ///< size = num_routers
+};
+
+struct MappingOptions {
+  MappingKind kind = MappingKind::kHProf;
+  std::int32_t num_engines = 90;
+  ClusterModel cluster;  ///< provides C(N) for the Tmll sweep and Es
+  std::uint64_t seed = 1;
+  double imbalance_tolerance = 1.10;
+  /// Exponent applied to the inverse-latency edge weight by the tuned
+  /// (TOP2/PROF2) conversion; > 1 makes small-latency links
+  /// disproportionately expensive to cut.
+  double tuned_exponent = 1.6;
+  /// Tmll sweep step (paper: 0.1 ms).
+  SimTime tmll_step = microseconds(100);
+  /// Upper bound of the sweep (safety stop; the sweep also stops when the
+  /// contracted graph has fewer clusters than engines).
+  SimTime tmll_max = milliseconds(20);
+};
+
+struct Mapping {
+  MappingKind kind = MappingKind::kTop;
+  std::vector<LpId> router_lp;  ///< router -> engine node
+  /// Minimum cross-partition link latency (the partition's lookahead).
+  SimTime achieved_mll = 0;
+  /// Chosen latency threshold (hierarchical mappings only, else 0).
+  SimTime tmll = 0;
+  /// E = Es * Ec of the chosen partition (hierarchical mappings only).
+  double predicted_efficiency = 0;
+  Weight edge_cut = 0;
+  double balance = 0;  ///< max part weight / ideal
+  std::int32_t num_engines = 0;
+};
+
+/// Computes the mapping. `profile` is required for PROF/PROF2/HPROF;
+/// `placement` (routers attaching active traffic endpoints, any order,
+/// duplicates allowed) is required for PLACE.
+Mapping compute_mapping(const Network& net, const MappingOptions& opts,
+                        const TrafficProfile* profile,
+                        std::span<const NodeId> placement = {});
+
+/// The partition evaluator of the hierarchical scheme:
+///   Es = (MLL - C_N) / MLL   (<= 0 when the window cannot amortize sync)
+///   Ec = average / maximum estimated per-engine load
+/// Exposed for tests and the ablation benches.
+struct PartitionScore {
+  double es = 0;
+  double ec = 0;
+  double e = 0;
+};
+PartitionScore score_partition(SimTime achieved_mll, SimTime sync_cost,
+                               std::span<const Weight> part_loads);
+
+}  // namespace massf

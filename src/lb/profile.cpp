@@ -1,0 +1,36 @@
+#include "lb/profile.hpp"
+
+#include "util/check.hpp"
+
+namespace massf {
+
+TrafficProfile fold_profile(const Network& net,
+                            std::span<const std::uint64_t> node_events) {
+  MASSF_CHECK(node_events.size() == net.nodes.size());
+  TrafficProfile p;
+  p.router_events.assign(static_cast<std::size_t>(net.num_routers), 0);
+  for (NodeId n = 0; n < static_cast<NodeId>(net.nodes.size()); ++n) {
+    const NodeId r = net.is_host(n)
+                         ? net.nodes[static_cast<std::size_t>(n)].attach_router
+                         : n;
+    p.router_events[static_cast<std::size_t>(r)] +=
+        node_events[static_cast<std::size_t>(n)];
+  }
+  return p;
+}
+
+std::vector<LpId> naive_mapping(const Network& net,
+                                std::int32_t num_engines) {
+  MASSF_CHECK(num_engines >= 1);
+  std::vector<LpId> m(static_cast<std::size_t>(net.num_routers));
+  // Contiguous blocks (not modulo round-robin): keeps geographically close
+  // routers together so the profiling run itself has a usable lookahead.
+  const auto n = static_cast<std::int64_t>(net.num_routers);
+  for (std::int64_t r = 0; r < n; ++r) {
+    m[static_cast<std::size_t>(r)] =
+        static_cast<LpId>(r * num_engines / std::max<std::int64_t>(n, 1));
+  }
+  return m;
+}
+
+}  // namespace massf

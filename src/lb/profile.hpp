@@ -1,0 +1,23 @@
+// Traffic-profile collection (paper Section 3.3, PROF): a profiling run —
+// typically with a naive initial partition — records per-network-node
+// kernel event counts; these become the vertex weights of the next
+// partitioning round.
+#pragma once
+
+#include <span>
+
+#include "lb/mapping.hpp"
+#include "topology/network.hpp"
+
+namespace massf {
+
+/// Folds per-node event counts (routers and hosts, as produced by
+/// NetSim::node_profile) into a per-router profile: a host's events are
+/// charged to its attachment router, which is where they execute.
+TrafficProfile fold_profile(const Network& net,
+                            std::span<const std::uint64_t> node_events);
+
+/// A naive round-robin router mapping used for the initial profiling run.
+std::vector<LpId> naive_mapping(const Network& net, std::int32_t num_engines);
+
+}  // namespace massf

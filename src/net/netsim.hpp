@@ -1,0 +1,221 @@
+// Packet-level network simulation mapped onto the conservative PDES engine.
+//
+// NetSim instantiates one logical process per simulation engine node (the
+// partition produced by the load balancer), owns every router/host/link of
+// the virtual network, and simulates hop-by-hop packet forwarding with
+// drop-tail output queues, TCP Reno flows, and UDP datagrams. Applications
+// (the traffic module and the online layer) interact through flows, UDP
+// messages, app timers, and completion callbacks, all of which execute on
+// the logical process owning the relevant host — which is what makes the
+// threaded executor race-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/tcp.hpp"
+#include "pdes/engine.hpp"
+#include "routing/forwarding.hpp"
+#include "topology/network.hpp"
+
+namespace massf {
+
+enum NetEventType : std::int32_t {
+  kEvArrive = 1,      ///< packet arrival (payload = encoded Packet)
+  kEvFlowStart = 2,   ///< a = flow id
+  kEvTcpTimeout = 3,  ///< a = flow id, b = timer epoch
+  kEvAppTimer = 4,    ///< a = host, b/c = user payload
+  kEvUdpSend = 5,     ///< payload = encoded Packet (transmit from src host)
+  kEvLinkState = 6,   ///< a = directed slot (link*2+dir), b = up (0/1)
+};
+
+struct NetSimOptions {
+  /// Per interface-direction output buffer (drop-tail) in bytes.
+  double queue_capacity_bytes = 256 * 1024;
+  /// Collect per-network-node processed-event counts (the traffic profile
+  /// consumed by the PROF/HPROF mappings).
+  bool collect_node_profile = false;
+  /// A TCP sender abandons its flow after this many consecutive
+  /// retransmission timeouts (a partitioned path would otherwise emit
+  /// retransmissions until the simulation horizon).
+  std::int32_t tcp_max_consecutive_timeouts = 8;
+  /// Track per-directed-interface bytes carried (for utilization reports).
+  bool collect_link_stats = false;
+  /// Record one FlowRecord per finished (completed or abandoned) TCP flow.
+  bool collect_flow_records = false;
+};
+
+/// NetFlow-style record of one finished TCP flow.
+struct FlowRecord {
+  FlowId flow = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t bytes = 0;
+  std::uint32_t tag = 0;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;  ///< last-byte-acked time (or failure time)
+  std::uint32_t retransmits = 0;
+  bool failed = false;
+
+  double duration_s() const { return to_seconds(finished_at - started_at); }
+  /// Goodput in bits/second.
+  double goodput_bps() const {
+    const double d = duration_s();
+    return d > 0 ? bytes * 8.0 / d : 0;
+  }
+};
+
+class NetSim {
+ public:
+  /// Invoked on the receiver's LP when the last byte of a flow arrives.
+  using FlowCompleteFn = std::function<void(
+      Engine&, NetSim&, FlowId flow, NodeId src_host, NodeId dst_host,
+      std::uint32_t tag)>;
+  /// Invoked on the destination host's LP for each delivered datagram.
+  using UdpReceiveFn =
+      std::function<void(Engine&, NetSim&, const Packet& packet)>;
+  /// Invoked on the host's LP when an app timer fires.
+  using AppTimerFn = std::function<void(Engine&, NetSim&, NodeId host,
+                                        std::uint64_t b, std::uint64_t c)>;
+
+  /// `router_lp` maps every router to its engine node; hosts follow their
+  /// attachment router. Registers num_engine_nodes LPs with the engine.
+  /// Checks the conservative contract: every link whose endpoints map to
+  /// different LPs must have latency >= engine lookahead.
+  NetSim(const Network& net, const ForwardingPlane& fp,
+         std::span<const LpId> router_lp, Engine& engine,
+         const NetSimOptions& opts);
+
+  LpId lp_of(NodeId node) const;
+  std::int32_t num_lps() const { return num_lps_; }
+
+  /// Starts a TCP flow of `bytes` from src_host to dst_host at virtual time
+  /// `when`. Callable before the run (initial traffic) or from a handler
+  /// running on src_host's LP. `tag` is an application cookie delivered
+  /// with the completion callback.
+  FlowId start_flow(Engine& engine, SimTime when, NodeId src_host,
+                    NodeId dst_host, std::uint32_t bytes, std::uint32_t tag);
+
+  /// Sends one UDP datagram (payload <= kMss bytes).
+  void send_udp(Engine& engine, SimTime when, NodeId src_host,
+                NodeId dst_host, std::uint32_t payload_bytes,
+                std::uint32_t tag);
+
+  /// Schedules an app timer on `host`'s LP.
+  void schedule_app_timer(Engine& engine, NodeId host, SimTime when,
+                          std::uint64_t b = 0, std::uint64_t c = 0);
+
+  /// Failure injection: takes `link` down (or back up) at virtual time
+  /// `when` in both directions. While down, packets offered to the link
+  /// are dropped (counted as dropped_link_down). Call before the run or
+  /// from a barrier hook.
+  void schedule_link_state(Engine& engine, LinkId link, SimTime when,
+                           bool up);
+
+  void set_flow_complete(FlowCompleteFn fn) { on_flow_complete_ = std::move(fn); }
+  void set_udp_receive(UdpReceiveFn fn) { on_udp_ = std::move(fn); }
+  void set_app_timer(AppTimerFn fn) { on_app_timer_ = std::move(fn); }
+
+  struct Counters {
+    std::uint64_t forwarded = 0;      ///< router-level packet hops
+    std::uint64_t delivered = 0;      ///< data packets reaching their host
+    std::uint64_t acks = 0;           ///< pure acks received by senders
+    std::uint64_t dropped_queue = 0;  ///< drop-tail losses
+    std::uint64_t dropped_no_route = 0;
+    std::uint64_t dropped_link_down = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t flows_started = 0;
+    std::uint64_t flows_completed = 0;
+    std::uint64_t flows_failed = 0;  ///< abandoned after repeated timeouts
+    std::uint64_t udp_delivered = 0;
+  };
+  /// Aggregated over all LPs; call after the run.
+  Counters totals() const;
+
+  /// Per-network-node processed-event counts (empty unless
+  /// collect_node_profile). Index = NodeId.
+  const std::vector<std::uint64_t>& node_profile() const { return profile_; }
+
+  /// Bytes carried by each directed interface (slot = link*2 + direction;
+  /// direction 0 transmits from NetLink::a). Empty unless
+  /// collect_link_stats. Valid after the run.
+  const std::vector<std::uint64_t>& link_bytes() const { return link_bytes_; }
+
+  /// Utilization of one direction of a link over `duration`: carried bits
+  /// over capacity. Requires collect_link_stats.
+  double link_utilization(LinkId link, int direction,
+                          SimTime duration) const;
+
+  /// All finished flows, merged across LPs in (LP, finish-order). Requires
+  /// collect_flow_records; call after the run.
+  std::vector<FlowRecord> flow_records() const;
+
+  const Network& network() const { return *net_; }
+  const ForwardingPlane& forwarding() const { return *fp_; }
+
+  /// Internal: event dispatch, called by the per-LP adapters.
+  void handle(Engine& engine, const Event& ev);
+
+ private:
+  struct LpState {
+    std::vector<TcpSender> senders;
+    std::unordered_map<FlowId, TcpReceiver> receivers;
+    Counters counters;
+    std::vector<FlowRecord> records;  ///< finished flows (sender side)
+  };
+
+  void record_flow(FlowId flow, const TcpSender& s, SimTime finished_at);
+
+  static constexpr int kFlowLpShift = 40;
+  LpId flow_lp(FlowId f) const { return static_cast<LpId>(f >> kFlowLpShift); }
+  std::size_t flow_index(FlowId f) const {
+    return static_cast<std::size_t>(f & ((1ULL << kFlowLpShift) - 1));
+  }
+
+  TcpSender& sender(FlowId f);
+
+  void on_arrive(Engine& engine, const Packet& p);
+  void deliver(Engine& engine, const Packet& p);
+  void on_data(Engine& engine, const Packet& p);
+  void on_ack(Engine& engine, const Packet& p);
+  void on_flow_start(Engine& engine, FlowId flow);
+  void on_timeout(Engine& engine, FlowId flow, std::uint64_t epoch);
+
+  /// Transmits `p` from `from` over `link` through the drop-tail queue
+  /// model; schedules the arrival event on the peer's LP.
+  void transmit(Engine& engine, NodeId from, LinkId link, Packet p);
+
+  void send_segment(Engine& engine, TcpSender& s, FlowId flow,
+                    std::uint32_t seq, bool count_retransmit);
+  void send_available(Engine& engine, TcpSender& s, FlowId flow);
+  void arm_timer(Engine& engine, TcpSender& s, FlowId flow);
+
+  void count_node_event(NodeId node);
+
+  const Network* net_;
+  const ForwardingPlane* fp_;
+  std::vector<LpId> node_lp_;  ///< per node (routers and hosts)
+  std::int32_t num_lps_ = 0;
+  NetSimOptions opts_;
+
+  /// Busy-until time per directed interface (link*2 + dir); each slot is
+  /// only touched by the LP owning the transmitting endpoint.
+  std::vector<SimTime> iface_free_;
+  /// Interface administrative state (same indexing/ownership discipline).
+  std::vector<char> iface_up_;
+  /// Bytes carried per directed interface (same ownership discipline).
+  std::vector<std::uint64_t> link_bytes_;
+
+  std::vector<LpState> lp_state_;
+  std::vector<std::uint64_t> profile_;
+
+  FlowCompleteFn on_flow_complete_;
+  UdpReceiveFn on_udp_;
+  AppTimerFn on_app_timer_;
+};
+
+}  // namespace massf

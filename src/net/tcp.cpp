@@ -1,0 +1,53 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+bool TcpReceiver::on_data(std::uint32_t seq, std::uint32_t len) {
+  if (len == 0) return false;
+  const std::uint32_t end = seq + len;
+  if (end <= expected) return false;  // old duplicate
+  if (seq > expected) {
+    // Buffer out of order; merge overlapping ranges.
+    std::uint32_t s = seq, e = end;
+    auto it = ooo.lower_bound(s);
+    if (it != ooo.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= s) {
+        s = prev->first;
+        e = std::max(e, prev->second);
+        it = ooo.erase(prev);
+      }
+    }
+    while (it != ooo.end() && it->first <= e) {
+      e = std::max(e, it->second);
+      it = ooo.erase(it);
+    }
+    ooo[s] = e;
+    return false;
+  }
+  // In-order (possibly partially duplicate) data.
+  expected = end;
+  // Absorb buffered segments that are now contiguous.
+  auto it = ooo.begin();
+  while (it != ooo.end() && it->first <= expected) {
+    expected = std::max(expected, it->second);
+    it = ooo.erase(it);
+  }
+  return true;
+}
+
+void tcp_rtt_update(TcpSender& s, SimTime sample) {
+  MASSF_CHECK(sample >= 0);
+  if (s.srtt == 0) {
+    s.srtt = sample;
+  } else {
+    s.srtt = s.srtt - s.srtt / 8 + sample / 8;
+  }
+  s.rto = std::clamp<SimTime>(2 * s.srtt, kMinRto, kMaxRto);
+}
+
+}  // namespace massf

@@ -1,0 +1,82 @@
+// TCP Reno transport state.
+//
+// A full event-driven Reno: slow start, congestion avoidance, duplicate-ack
+// fast retransmit with fast recovery (NewReno-style partial-ack handling),
+// retransmission timeouts with a coarse SRTT estimator, and cumulative
+// acknowledgments with out-of-order segment buffering at the receiver.
+// Per-flow state is split into sender and receiver halves because they live
+// on (possibly) different logical processes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/packet.hpp"
+#include "util/sim_time.hpp"
+
+namespace massf {
+
+struct TcpSender {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t size = 0;  ///< total bytes to transfer
+  std::uint32_t tag = 0;   ///< application cookie, echoed in callbacks
+
+  std::uint32_t next_seq = 0;   ///< next new byte to send
+  std::uint32_t acked = 0;      ///< cumulative bytes acknowledged
+  double cwnd = kMss;           ///< congestion window (bytes)
+  double ssthresh = 64 * 1024;  ///< slow-start threshold (bytes)
+  std::int32_t dup_acks = 0;
+  bool in_recovery = false;
+  std::uint32_t recover = 0;  ///< recovery exit point (NewReno)
+
+  // Coarse RTT estimation (one sample in flight at a time, Karn's rule:
+  // suspended during recovery/after timeout).
+  SimTime rtt_sent_at = -1;
+  std::uint32_t rtt_seq = 0;
+  SimTime srtt = 0;  ///< 0 = no sample yet
+  SimTime rto = 0;   ///< current timeout; derived from srtt
+
+  /// Timer epoch: bumping it invalidates outstanding timeout events.
+  std::uint64_t timer_epoch = 0;
+
+  /// Consecutive RTO expirations with no forward progress; the flow is
+  /// abandoned past NetSimOptions::tcp_max_consecutive_timeouts.
+  std::int32_t consecutive_timeouts = 0;
+  bool failed = false;
+
+  // Accounting for flow records.
+  SimTime started_at = -1;
+  std::uint32_t total_retransmits = 0;
+
+  bool complete() const { return size > 0 && acked >= size; }
+  std::uint32_t flight_size() const { return next_seq - acked; }
+};
+
+struct TcpReceiver {
+  NodeId src = kInvalidNode;  ///< flow sender
+  NodeId dst = kInvalidNode;  ///< this host
+  std::uint32_t expected = 0;  ///< cumulative in-order bytes received
+  std::uint32_t fin_seq = 0;   ///< flow size, learned from the FIN segment
+  bool fin_seen = false;
+  bool completed = false;
+  /// Out-of-order segments: start -> end (exclusive), non-overlapping.
+  std::map<std::uint32_t, std::uint32_t> ooo;
+
+  /// Absorbs a data segment [seq, seq+len); advances `expected` over any
+  /// now-contiguous buffered segments. Returns true if `expected` moved.
+  bool on_data(std::uint32_t seq, std::uint32_t len);
+
+  bool all_received() const { return fin_seen && expected >= fin_seq; }
+};
+
+/// RTO bounds.
+constexpr SimTime kMinRto = milliseconds(100);
+constexpr SimTime kMaxRto = seconds(3);
+constexpr SimTime kInitialRto = seconds(1);
+
+/// Updates srtt/rto from a measurement (classic EWMA, gain 1/8; RTO =
+/// 2 * srtt clamped to [kMinRto, kMaxRto]).
+void tcp_rtt_update(TcpSender& s, SimTime sample);
+
+}  // namespace massf

@@ -1,0 +1,98 @@
+#include "online/agent.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+Agent::Agent(const AgentOptions& options) : opts_(options) {}
+
+void Agent::attach(Engine& engine) {
+  engine.set_barrier_hook([this](Engine& eng, SimTime window_start) {
+    on_barrier(eng, window_start);
+  });
+}
+
+void Agent::start(Engine&, NetSim& sim) { sim_ = &sim; }
+
+void Agent::submit(const SendRequest& request) {
+  MASSF_CHECK(request.bytes > 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  inbox_.push_back(request);
+}
+
+std::optional<Agent::Delivery> Agent::poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outbox_.empty()) return std::nullopt;
+  Delivery d = outbox_.front();
+  outbox_.pop_front();
+  return d;
+}
+
+void Agent::requeue(const Delivery& delivery) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outbox_.push_back(delivery);
+}
+
+SimTime Agent::virtual_now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return virtual_now_;
+}
+
+void Agent::on_barrier(Engine& engine, SimTime window_start) {
+  MASSF_CHECK(sim_ != nullptr && "Agent not registered with TrafficManager");
+
+  // Soft real-time pacing: hold the window until wall clock catches up.
+  if (opts_.slowdown > 0) {
+    if (!wall_started_) {
+      wall_start_ = std::chrono::steady_clock::now();
+      wall_started_ = true;
+    }
+    const double due_wall_s = to_seconds(window_start) * opts_.slowdown;
+    for (;;) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start_)
+              .count();
+      if (elapsed >= due_wall_s) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(0.001, due_wall_s - elapsed)));
+    }
+  }
+
+  // Drain live sends into the simulation. Injection happens at the window
+  // end: the earliest time a conservative engine can admit a new event.
+  std::deque<SendRequest> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    virtual_now_ = window_start;
+    pending.swap(inbox_);
+  }
+  const SimTime inject_at = window_start + engine.options().lookahead;
+  for (const SendRequest& req : pending) {
+    std::uint32_t idx;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      idx = static_cast<std::uint32_t>(in_flight_.size());
+      in_flight_.push_back(req);
+    }
+    sim_->start_flow(engine, inject_at, req.src_host, req.dst_host,
+                     req.bytes, make_tag(TrafficKind::kOnline, idx));
+  }
+}
+
+void Agent::on_flow_complete(Engine& engine, NetSim&, FlowId, NodeId src_host,
+                             NodeId dst_host, std::uint32_t tag) {
+  const std::uint32_t idx = tag_payload(tag);
+  std::lock_guard<std::mutex> lock(mu_);
+  MASSF_CHECK(idx < in_flight_.size());
+  Delivery d;
+  d.src_host = src_host;
+  d.dst_host = dst_host;
+  d.cookie = in_flight_[idx].cookie;
+  d.virtual_time = engine.now();
+  outbox_.push_back(d);
+}
+
+}  // namespace massf

@@ -1,0 +1,93 @@
+// Online-simulation support: the Agent (paper Section 2.1).
+//
+// MaSSF supports *online* simulation: traffic enters the simulator live
+// from running applications instead of being pre-scripted. Applications
+// talk to a WrapSocket-style API (vsocket.hpp) whose sends are queued into
+// the Agent from any thread; the Agent drains the queue at every
+// synchronization-window barrier — the only point where a conservative
+// engine can admit external events — and injects them as flows starting at
+// or after the window end. Deliveries flow back through a thread-safe
+// outbound queue the application polls.
+//
+// The Agent also implements the soft real-time scheduler's pacing: with a
+// slowdown factor s, virtual time is never allowed to run faster than
+// wall-clock time / s, so a live application and the simulated network stay
+// in step (s > 1 runs the network slower than real time, as the paper does
+// when the simulated system is too large for real time).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "traffic/manager.hpp"
+
+namespace massf {
+
+struct AgentOptions {
+  /// Virtual seconds advance at most (wall seconds) / slowdown. 0 disables
+  /// pacing (run as fast as possible).
+  double slowdown = 0;
+};
+
+class Agent final : public TrafficComponent {
+ public:
+  explicit Agent(const AgentOptions& options);
+
+  /// Installs the barrier hook on the engine. Call once before run().
+  void attach(Engine& engine);
+
+  // ---- Application side (any thread) ------------------------------------
+
+  struct SendRequest {
+    NodeId src_host = kInvalidNode;
+    NodeId dst_host = kInvalidNode;
+    std::uint32_t bytes = 0;
+    std::uint32_t cookie = 0;  ///< echoed in the matching Delivery
+  };
+
+  /// Queues a live send; it is injected at the next window barrier.
+  void submit(const SendRequest& request);
+
+  struct Delivery {
+    NodeId src_host = kInvalidNode;
+    NodeId dst_host = kInvalidNode;
+    std::uint32_t cookie = 0;
+    SimTime virtual_time = 0;  ///< when the last byte arrived
+  };
+
+  /// Non-blocking poll for completed transfers.
+  std::optional<Delivery> poll();
+
+  /// Puts a polled delivery back (used by VSocket when a delivery belongs
+  /// to a different host's socket).
+  void requeue(const Delivery& delivery);
+
+  /// Virtual time of the latest window barrier (application-visible clock).
+  SimTime virtual_now() const;
+
+  // ---- TrafficComponent (engine side) ------------------------------------
+  void start(Engine& engine, NetSim& sim) override;
+  void on_flow_complete(Engine& engine, NetSim& sim, FlowId flow,
+                        NodeId src_host, NodeId dst_host,
+                        std::uint32_t tag) override;
+
+ private:
+  void on_barrier(Engine& engine, SimTime window_start);
+
+  AgentOptions opts_;
+  NetSim* sim_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::deque<SendRequest> inbox_;
+  std::deque<Delivery> outbox_;
+  std::vector<SendRequest> in_flight_;  // cookie payload -> request
+  SimTime virtual_now_ = 0;
+
+  std::chrono::steady_clock::time_point wall_start_;
+  bool wall_started_ = false;
+};
+
+}  // namespace massf

@@ -1,0 +1,50 @@
+#include "online/vsocket.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace massf {
+
+VSocket::VSocket(Agent& agent, NodeId local_host)
+    : agent_(&agent), local_host_(local_host) {}
+
+std::uint32_t VSocket::send(NodeId dst_host, std::uint32_t bytes) {
+  Agent::SendRequest req;
+  req.src_host = local_host_;
+  req.dst_host = dst_host;
+  req.bytes = bytes;
+  req.cookie = next_cookie_++;
+  agent_->submit(req);
+  return req.cookie;
+}
+
+std::optional<Agent::Delivery> VSocket::try_receive() {
+  // The agent's outbox is shared by all sockets; deliveries not addressed
+  // to this host are re-queued by resubmission into the outbox through
+  // poll/push cycles. To keep the common case simple we filter here and
+  // drop foreign deliveries back via a local stash-free strategy: the
+  // demo applications use one socket per host pair direction, so a foreign
+  // delivery simply belongs to another poll loop — we push it back.
+  auto d = agent_->poll();
+  if (!d) return std::nullopt;
+  if (d->dst_host == local_host_) return d;
+  // Not ours: requeue and report nothing this round.
+  // (Agent::Delivery round-trips losslessly through submit/outbox only via
+  // this private hook.)
+  agent_->requeue(*d);
+  return std::nullopt;
+}
+
+std::optional<Agent::Delivery> VSocket::receive(double wall_timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(wall_timeout_s));
+  for (;;) {
+    if (auto d = try_receive()) return d;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace massf

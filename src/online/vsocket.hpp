@@ -1,0 +1,43 @@
+// WrapSocket analog: a small blocking socket-style API over the Agent.
+//
+// In the real MaSSF, unmodified applications are linked against a
+// WrapSocket library that intercepts socket calls and redirects the stream
+// through the Agent into the simulated network. Here applications are
+// in-process (possibly on their own threads); a VSocket gives them the
+// same shape of API — send() and a blocking receive-completion wait —
+// while every byte they exchange traverses the simulated network in
+// virtual time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "online/agent.hpp"
+
+namespace massf {
+
+class VSocket {
+ public:
+  /// Binds the socket to a simulated host.
+  VSocket(Agent& agent, NodeId local_host);
+
+  NodeId local_host() const { return local_host_; }
+
+  /// Sends `bytes` to a peer host; returns a cookie identifying the
+  /// transfer.
+  std::uint32_t send(NodeId dst_host, std::uint32_t bytes);
+
+  /// Non-blocking: next completed transfer addressed to this host, if any.
+  std::optional<Agent::Delivery> try_receive();
+
+  /// Blocks (polling the agent) until a transfer addressed to this host
+  /// completes or `wall_timeout_s` elapses.
+  std::optional<Agent::Delivery> receive(double wall_timeout_s);
+
+ private:
+  Agent* agent_;
+  NodeId local_host_;
+  std::uint32_t next_cookie_ = 1;
+};
+
+}  // namespace massf

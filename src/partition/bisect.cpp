@@ -1,0 +1,139 @@
+#include "partition/bisect.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "partition/fm.hpp"
+#include "partition/matching.hpp"
+#include "util/check.hpp"
+
+namespace massf {
+namespace {
+
+// Greedy graph growing (GGGP): grow part 0 from a random seed, always
+// absorbing the frontier vertex with the largest connectivity to the grown
+// region, until part 0 reaches its weight target.
+std::vector<VertexId> grow_bisection(const Graph& g, Weight target0,
+                                     Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> part(static_cast<std::size_t>(n), 1);
+  if (n == 0 || target0 <= 0) return part;
+
+  std::vector<Weight> attach(static_cast<std::size_t>(n), 0);
+  std::vector<char> in0(static_cast<std::size_t>(n), 0);
+  struct Cand {
+    Weight attach;
+    VertexId v;
+    bool operator<(const Cand& o) const {
+      return attach != o.attach ? attach < o.attach : v > o.v;
+    }
+  };
+  std::priority_queue<Cand> frontier;
+
+  Weight w0 = 0;
+  VertexId grown = 0;
+  const auto seed = static_cast<VertexId>(rng.uniform(
+      static_cast<std::uint64_t>(n)));
+  frontier.push({Weight{1}, seed});
+  attach[static_cast<std::size_t>(seed)] = 1;
+
+  while (w0 < target0 && grown < n) {
+    VertexId v = kInvalidVertex;
+    while (!frontier.empty()) {
+      const Cand c = frontier.top();
+      frontier.pop();
+      const auto vi = static_cast<std::size_t>(c.v);
+      if (in0[vi] || c.attach != attach[vi]) continue;  // taken or stale
+      v = c.v;
+      break;
+    }
+    if (v == kInvalidVertex) {
+      // Disconnected remainder: restart from an arbitrary unabsorbed vertex.
+      for (VertexId u = 0; u < n; ++u) {
+        if (!in0[static_cast<std::size_t>(u)]) {
+          v = u;
+          break;
+        }
+      }
+      if (v == kInvalidVertex) break;
+    }
+    const auto vi = static_cast<std::size_t>(v);
+    in0[vi] = 1;
+    part[vi] = 0;
+    w0 += g.vertex_weight(v);
+    ++grown;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.arc_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto ui = static_cast<std::size_t>(nbrs[i]);
+      if (!in0[ui]) {
+        attach[ui] += ws[i];
+        frontier.push({attach[ui], nbrs[i]});
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace
+
+std::vector<VertexId> multilevel_bisect(const Graph& g, Weight target0,
+                                        const PartitionOptions& opts,
+                                        double tolerance, Rng& rng) {
+  const VertexId coarsen_stop = std::max<VertexId>(
+      64, 2 * opts.coarsen_vertices_per_part);
+
+  // Coarsening hierarchy. levels[0] is the input graph (by pointer); coarser
+  // graphs are owned.
+  std::vector<Graph> owned;
+  std::vector<std::vector<VertexId>> maps;
+  const Graph* cur = &g;
+  while (cur->num_vertices() > coarsen_stop) {
+    MatchingResult m = heavy_edge_matching(*cur, rng);
+    // Stop when matching stalls (graph too dense/irregular to shrink).
+    if (m.num_coarse >
+        static_cast<VertexId>(0.95 * static_cast<double>(cur->num_vertices()))) {
+      break;
+    }
+    owned.push_back(contract(*cur, m.coarse_map, m.num_coarse));
+    maps.push_back(std::move(m.coarse_map));
+    cur = &owned.back();
+  }
+
+  // Initial partition on the coarsest graph: best of several GGGP trials.
+  FmOptions fm;
+  fm.target0 = target0;
+  fm.tolerance = tolerance;
+  fm.max_passes = opts.refinement_passes;
+
+  std::vector<VertexId> best_part;
+  Weight best_cut = 0;
+  for (std::int32_t trial = 0;
+       trial < std::max<std::int32_t>(1, opts.initial_partition_trials);
+       ++trial) {
+    std::vector<VertexId> part = grow_bisection(*cur, target0, rng);
+    const Weight cut = fm_refine_bisection(*cur, part, fm);
+    if (best_part.empty() || cut < best_cut) {
+      best_cut = cut;
+      best_part = std::move(part);
+    }
+  }
+
+  // Uncoarsen: project through each level and refine.
+  for (std::size_t level = maps.size(); level-- > 0;) {
+    const Graph& fine = level == 0 ? g : owned[level - 1];
+    std::vector<VertexId> fine_part(
+        static_cast<std::size_t>(fine.num_vertices()));
+    for (VertexId v = 0; v < fine.num_vertices(); ++v) {
+      fine_part[static_cast<std::size_t>(v)] =
+          best_part[static_cast<std::size_t>(
+              maps[level][static_cast<std::size_t>(v)])];
+    }
+    fm_refine_bisection(fine, fine_part, fm);
+    best_part = std::move(fine_part);
+  }
+  MASSF_CHECK(static_cast<VertexId>(best_part.size()) == g.num_vertices());
+  return best_part;
+}
+
+}  // namespace massf

@@ -1,0 +1,20 @@
+// Multilevel 2-way partitioning: coarsen by heavy-edge matching, bisect the
+// coarsest graph with greedy graph growing, refine with FM on every level
+// while projecting back up.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace massf {
+
+/// Bisects g so that part 0 totals approximately `target0` vertex weight.
+/// Returns an assignment of 0/1 per vertex.
+std::vector<VertexId> multilevel_bisect(const Graph& g, Weight target0,
+                                        const PartitionOptions& opts,
+                                        double tolerance, Rng& rng);
+
+}  // namespace massf

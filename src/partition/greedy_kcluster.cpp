@@ -1,0 +1,76 @@
+#include "partition/greedy_kcluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+std::vector<VertexId> greedy_k_cluster(const Graph& g, std::int32_t k,
+                                       Rng& rng) {
+  const VertexId n = g.num_vertices();
+  MASSF_CHECK(k >= 1);
+  std::vector<VertexId> part(static_cast<std::size_t>(n), kInvalidVertex);
+  if (n == 0) return part;
+  k = std::min<std::int32_t>(k, n);
+
+  // k distinct random seeds.
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), VertexId{0});
+  rng.shuffle(order);
+  std::vector<std::deque<VertexId>> frontier(static_cast<std::size_t>(k));
+  std::vector<std::int32_t> size(static_cast<std::size_t>(k), 0);
+  for (std::int32_t c = 0; c < k; ++c) {
+    const VertexId seed = order[static_cast<std::size_t>(c)];
+    part[static_cast<std::size_t>(seed)] = c;
+    frontier[static_cast<std::size_t>(c)].push_back(seed);
+    ++size[static_cast<std::size_t>(c)];
+  }
+
+  // Round-robin: each cluster absorbs one unclaimed neighbor per turn by
+  // following links out of its current component.
+  VertexId assigned = static_cast<VertexId>(k);
+  bool progress = true;
+  while (assigned < n && progress) {
+    progress = false;
+    for (std::int32_t c = 0; c < k && assigned < n; ++c) {
+      auto& fr = frontier[static_cast<std::size_t>(c)];
+      while (!fr.empty()) {
+        const VertexId v = fr.front();
+        VertexId grabbed = kInvalidVertex;
+        for (VertexId u : g.neighbors(v)) {
+          if (part[static_cast<std::size_t>(u)] == kInvalidVertex) {
+            grabbed = u;
+            break;
+          }
+        }
+        if (grabbed == kInvalidVertex) {
+          fr.pop_front();  // exhausted vertex
+          continue;
+        }
+        part[static_cast<std::size_t>(grabbed)] = c;
+        fr.push_back(grabbed);
+        ++size[static_cast<std::size_t>(c)];
+        ++assigned;
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Vertices unreachable from any seed (disconnected graphs): dump each
+  // into the currently smallest cluster.
+  for (VertexId v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] == kInvalidVertex) {
+      const auto smallest = static_cast<std::int32_t>(
+          std::min_element(size.begin(), size.end()) - size.begin());
+      part[static_cast<std::size_t>(v)] = smallest;
+      ++size[static_cast<std::size_t>(smallest)];
+    }
+  }
+  return part;
+}
+
+}  // namespace massf

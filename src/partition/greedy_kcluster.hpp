@@ -1,0 +1,22 @@
+// The ModelNet greedy k-cluster partitioning algorithm, implemented as a
+// comparison baseline (paper Section 6: "for k nodes in the core set,
+// randomly selects k nodes in the virtual topology and greedily selects
+// links from the current connected component in a round-robin fashion").
+// It ignores vertex weights and link latencies entirely — which is exactly
+// why the paper's weighted multilevel approach outperforms it.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace massf {
+
+/// Partitions g into k clusters by greedy round-robin region growing from
+/// k random seeds. Every vertex is assigned; disconnected leftovers are
+/// appended to the smallest cluster. Deterministic for a fixed seed.
+std::vector<VertexId> greedy_k_cluster(const Graph& g, std::int32_t k,
+                                       Rng& rng);
+
+}  // namespace massf

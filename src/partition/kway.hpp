@@ -1,0 +1,25 @@
+// Recursive-bisection k-way driver plus a final k-way greedy boundary
+// refinement pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace massf {
+
+/// Partitions g into opts.num_parts via recursive multilevel bisection.
+std::vector<VertexId> recursive_bisection(const Graph& g,
+                                          const PartitionOptions& opts,
+                                          Rng& rng);
+
+/// Greedy k-way boundary refinement: repeatedly moves boundary vertices to
+/// the neighboring part with the best cut gain, subject to the balance
+/// constraint. Improves the recursive-bisection result in place.
+void kway_refine(const Graph& g, std::span<VertexId> part,
+                 const PartitionOptions& opts);
+
+}  // namespace massf

@@ -1,0 +1,52 @@
+#include "partition/matching.hpp"
+
+#include <numeric>
+
+namespace massf {
+
+MatchingResult heavy_edge_matching(const Graph& g, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), VertexId{0});
+  rng.shuffle(order);
+
+  for (VertexId v : order) {
+    if (match[static_cast<std::size_t>(v)] != kInvalidVertex) continue;
+    VertexId best = kInvalidVertex;
+    Weight best_w = -1;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.arc_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (match[static_cast<std::size_t>(u)] != kInvalidVertex) continue;
+      if (ws[i] > best_w) {
+        best_w = ws[i];
+        best = u;
+      }
+    }
+    if (best != kInvalidVertex) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // singleton
+    }
+  }
+
+  MatchingResult result;
+  result.coarse_map.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (result.coarse_map[static_cast<std::size_t>(v)] != kInvalidVertex) {
+      continue;
+    }
+    const VertexId m = match[static_cast<std::size_t>(v)];
+    result.coarse_map[static_cast<std::size_t>(v)] = next;
+    result.coarse_map[static_cast<std::size_t>(m)] = next;
+    ++next;
+  }
+  result.num_coarse = next;
+  return result;
+}
+
+}  // namespace massf

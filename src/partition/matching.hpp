@@ -1,0 +1,22 @@
+// Heavy-edge matching for multilevel coarsening.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace massf {
+
+struct MatchingResult {
+  /// coarse vertex id per fine vertex, dense in [0, num_coarse).
+  std::vector<VertexId> coarse_map;
+  VertexId num_coarse = 0;
+};
+
+/// Visits vertices in random order and matches each unmatched vertex with
+/// its unmatched neighbor of maximum edge weight (heavy-edge matching,
+/// Karypis & Kumar). Unmatched vertices map to singleton coarse vertices.
+MatchingResult heavy_edge_matching(const Graph& g, Rng& rng);
+
+}  // namespace massf

@@ -1,0 +1,72 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "partition/kway.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace massf {
+
+double PartitionResult::balance(Weight total_weight) const {
+  if (part_weights.empty() || total_weight == 0) return 1.0;
+  const Weight max_w = *std::max_element(part_weights.begin(),
+                                         part_weights.end());
+  const double ideal =
+      static_cast<double>(total_weight) / static_cast<double>(
+                                              part_weights.size());
+  return static_cast<double>(max_w) / ideal;
+}
+
+PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts) {
+  MASSF_CHECK(opts.num_parts >= 1);
+  MASSF_CHECK(opts.imbalance_tolerance >= 1.0);
+
+  Rng rng(opts.seed);
+  PartitionResult result;
+  result.part = recursive_bisection(g, opts, rng);
+  kway_refine(g, result.part, opts);
+  result.edge_cut = compute_edge_cut(g, result.part);
+  result.part_weights = compute_part_weights(g, result.part, opts.num_parts);
+  return result;
+}
+
+Weight compute_edge_cut(const Graph& g, std::span<const VertexId> part) {
+  MASSF_CHECK(static_cast<VertexId>(part.size()) == g.num_vertices());
+  Weight cut = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (part[static_cast<std::size_t>(g.edge_u(e))] !=
+        part[static_cast<std::size_t>(g.edge_v(e))]) {
+      cut += g.edge_weight(e);
+    }
+  }
+  return cut;
+}
+
+std::vector<Weight> compute_part_weights(const Graph& g,
+                                         std::span<const VertexId> part,
+                                         std::int32_t num_parts) {
+  std::vector<Weight> pw(static_cast<std::size_t>(num_parts), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId p = part[static_cast<std::size_t>(v)];
+    MASSF_CHECK(p >= 0 && p < num_parts);
+    pw[static_cast<std::size_t>(p)] += g.vertex_weight(v);
+  }
+  return pw;
+}
+
+std::int64_t min_cut_edge_aux(const Graph& g, std::span<const VertexId> part,
+                              std::span<const std::int64_t> edge_aux) {
+  MASSF_CHECK(static_cast<EdgeId>(edge_aux.size()) == g.num_edges());
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (part[static_cast<std::size_t>(g.edge_u(e))] !=
+        part[static_cast<std::size_t>(g.edge_v(e))]) {
+      best = std::min(best, edge_aux[static_cast<std::size_t>(e)]);
+    }
+  }
+  return best;
+}
+
+}  // namespace massf

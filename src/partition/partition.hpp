@@ -1,0 +1,59 @@
+// Public interface of the multilevel k-way graph partitioner.
+//
+// This is the METIS-equivalent substrate the load-balance layer builds on:
+// multilevel recursive bisection with heavy-edge-matching coarsening,
+// greedy-graph-growing initial partitions, and Fiduccia–Mattheyses
+// refinement, followed by a k-way boundary refinement pass. It balances
+// total vertex weight across parts while minimizing the weighted edge cut.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace massf {
+
+struct PartitionOptions {
+  std::int32_t num_parts = 2;
+  /// Maximum allowed part weight as a multiple of the ideal (total/k).
+  double imbalance_tolerance = 1.05;
+  std::uint64_t seed = 1;
+  /// Coarsening stops once the graph has at most this many vertices per
+  /// requested part (or matching stalls).
+  std::int32_t coarsen_vertices_per_part = 30;
+  /// Number of random seeds tried by the greedy-graph-growing initial
+  /// bisection; the best (lowest-cut) one is kept.
+  std::int32_t initial_partition_trials = 4;
+  /// Maximum FM passes per refinement invocation.
+  std::int32_t refinement_passes = 8;
+};
+
+struct PartitionResult {
+  std::vector<VertexId> part;        ///< vertex -> part id in [0, k)
+  Weight edge_cut = 0;               ///< sum of weights of cut edges
+  std::vector<Weight> part_weights;  ///< total vertex weight per part
+
+  /// max part weight / ideal part weight; 1.0 is perfect balance.
+  double balance(Weight total_weight) const;
+};
+
+/// Partitions g into opts.num_parts parts. Deterministic for a fixed seed.
+PartitionResult partition_graph(const Graph& g, const PartitionOptions& opts);
+
+/// Recomputes the weighted edge cut of an assignment (validation helper).
+Weight compute_edge_cut(const Graph& g, std::span<const VertexId> part);
+
+/// Recomputes per-part vertex-weight totals.
+std::vector<Weight> compute_part_weights(const Graph& g,
+                                         std::span<const VertexId> part,
+                                         std::int32_t num_parts);
+
+/// Minimum value of `edge_aux` over edges whose endpoints lie in different
+/// parts (e.g. the achieved minimum cross-partition link latency). Returns
+/// int64 max when no edge is cut.
+std::int64_t min_cut_edge_aux(const Graph& g, std::span<const VertexId> part,
+                              std::span<const std::int64_t> edge_aux);
+
+}  // namespace massf

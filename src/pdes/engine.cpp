@@ -1,0 +1,181 @@
+#include "pdes/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+thread_local SimTime Engine::tls_now_ = 0;
+thread_local LpId Engine::tls_lp_ = kInvalidLp;
+
+std::vector<double> RunStats::event_rates() const {
+  std::vector<double> rates(events_per_lp.size(), 0.0);
+  if (modeled_wall_s <= 0) return rates;
+  for (std::size_t i = 0; i < events_per_lp.size(); ++i) {
+    rates[i] = static_cast<double>(events_per_lp[i]) / modeled_wall_s;
+  }
+  return rates;
+}
+
+Engine::Engine(const EngineOptions& options) : opts_(options) {
+  MASSF_CHECK(opts_.lookahead > 0);
+  MASSF_CHECK(opts_.cost_per_event_s >= 0);
+  MASSF_CHECK(opts_.end_time > 0);
+}
+
+Engine::~Engine() = default;
+
+LpId Engine::add_lp(std::unique_ptr<LogicalProcess> lp) {
+  MASSF_CHECK(!running_);
+  MASSF_CHECK(lp != nullptr);
+  lps_.push_back(Lp{});
+  lps_.back().process = std::move(lp);
+  return static_cast<LpId>(lps_.size() - 1);
+}
+
+void Engine::schedule(LpId lp, SimTime time, std::int32_t type,
+                      std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                      std::uint64_t d) {
+  MASSF_CHECK(lp >= 0 && lp < static_cast<LpId>(lps_.size()));
+  Event ev;
+  ev.time = time;
+  ev.lp = lp;
+  ev.type = type;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.d = d;
+
+  const LpId cur = current_lp();
+  if (!running_ || cur == kInvalidLp) {
+    // Initial (pre-run) or barrier-hook scheduling: direct insertion. While
+    // running, injected events must not land inside the open window.
+    MASSF_CHECK(!running_ || time >= window_end_);
+    auto& dst = lps_[static_cast<std::size_t>(lp)];
+    ev.seq = dst.next_seq++;
+    dst.queue.push(ev);
+    return;
+  }
+
+  MASSF_CHECK(time >= now());
+  if (lp == cur) {
+    auto& dst = lps_[static_cast<std::size_t>(lp)];
+    ev.seq = dst.next_seq++;
+    dst.queue.push(ev);
+    return;
+  }
+
+  // Cross-LP send: the conservative contract. The channel latency embedded
+  // in `time` must push the event past the current window, otherwise the
+  // partition's lookahead (MLL) was computed wrong.
+  MASSF_CHECK(time >= window_end_);
+  lps_[static_cast<std::size_t>(cur)].outbox.push_back(ev);
+}
+
+SimTime Engine::next_event_floor() const {
+  SimTime floor = kSimTimeMax;
+  for (const Lp& lp : lps_) {
+    if (!lp.queue.empty()) floor = std::min(floor, lp.queue.top().time);
+  }
+  return floor;
+}
+
+void Engine::deliver_outboxes() {
+  // Deterministic merge: sender LPs in id order, each outbox in send order.
+  for (Lp& src : lps_) {
+    for (const Event& ev : src.outbox) {
+      auto& dst = lps_[static_cast<std::size_t>(ev.lp)];
+      Event copy = ev;
+      copy.seq = dst.next_seq++;
+      dst.queue.push(copy);
+    }
+    src.outbox.clear();
+  }
+}
+
+void Engine::account_window() {
+  double max_busy = 0;
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    const double busy = static_cast<double>(lps_[i].window_events) *
+                        opts_.cost_per_event_s;
+    stats_.busy_s[i] += busy;
+    max_busy = std::max(max_busy, busy);
+    lps_[i].window_events = 0;
+  }
+  stats_.modeled_wall_s += max_busy + opts_.sync_cost_s;
+  stats_.modeled_sync_s += opts_.sync_cost_s;
+  ++stats_.num_windows;
+}
+
+void Engine::process_lp_window(LpId i) {
+  Lp& lp = lps_[static_cast<std::size_t>(i)];
+  if (threaded_) {
+    tls_lp_ = i;
+  } else {
+    current_lp_ = i;
+  }
+  while (!lp.queue.empty() && lp.queue.top().time < window_end_ &&
+         lp.queue.top().time < opts_.end_time) {
+    const Event ev = lp.queue.top();
+    lp.queue.pop();
+    if (threaded_) {
+      tls_now_ = ev.time;
+    } else {
+      now_ = ev.time;
+    }
+    lp.process->handle(*this, ev);
+    ++lp.events;
+    ++lp.window_events;
+    if (opts_.load_bin > 0) {
+      stats_.lp_load[static_cast<std::size_t>(i)].add(to_seconds(ev.time),
+                                                      1.0);
+    }
+  }
+  if (threaded_) {
+    tls_lp_ = kInvalidLp;
+  } else {
+    current_lp_ = kInvalidLp;
+  }
+}
+
+void Engine::begin_run() {
+  MASSF_CHECK(!running_);
+  running_ = true;
+  stop_requested_ = false;
+  stats_ = RunStats{};
+  stats_.events_per_lp.assign(lps_.size(), 0);
+  stats_.busy_s.assign(lps_.size(), 0.0);
+  if (opts_.load_bin > 0) {
+    stats_.lp_load.assign(lps_.size(), TimeSeries(to_seconds(opts_.load_bin)));
+  }
+}
+
+void Engine::finish_run(SimTime floor) {
+  running_ = false;
+  stats_.end_vtime = std::min(floor, opts_.end_time);
+  stats_.total_events = 0;
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    stats_.events_per_lp[i] = lps_[i].events;
+    stats_.total_events += lps_[i].events;
+  }
+}
+
+RunStats Engine::run() {
+  begin_run();
+  SimTime floor = next_event_floor();
+  while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested_) {
+    window_end_ = floor + opts_.lookahead;
+    for (auto& hook : barrier_hooks_) hook(*this, floor);
+    for (LpId i = 0; i < static_cast<LpId>(lps_.size()); ++i) {
+      process_lp_window(i);
+    }
+    deliver_outboxes();
+    account_window();
+    floor = next_event_floor();
+  }
+  finish_run(floor);
+  return stats_;
+}
+
+}  // namespace massf

@@ -1,0 +1,177 @@
+// Conservative barrier-synchronous parallel discrete-event engine.
+//
+// This reproduces the synchronization protocol of DaSSF-class simulators
+// (MaSSF's engine): logical processes (LPs) — one per simulation engine
+// node — advance in global windows of width `lookahead`, the minimum
+// cross-partition link latency (MLL). Within a window every LP processes
+// its own events independently; events sent to other LPs are buffered and
+// exchanged at the window barrier. Conservative correctness holds because a
+// cross-LP event sent at time t arrives at t + (channel latency >= MLL),
+// i.e. never inside the window it was sent from — the engine enforces this
+// with a runtime check rather than trusting the caller.
+//
+// The engine also implements the paper-cluster substitution documented in
+// DESIGN.md: per window it charges each LP `cost_per_event` for every event
+// processed and the whole machine one synchronization cost, accumulating a
+// *modeled* parallel wall clock from which simulation time, load imbalance,
+// and parallel efficiency are derived. A threaded executor (threaded.hpp)
+// really runs LPs on worker threads and produces identical simulation
+// results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "pdes/event.hpp"
+#include "util/stats.hpp"
+
+namespace massf {
+
+class Engine;
+
+/// One logical process: a simulation engine node owning a partition of the
+/// network. Implementations must be deterministic functions of the event
+/// stream (all randomness from per-LP forked Rng streams).
+class LogicalProcess {
+ public:
+  virtual ~LogicalProcess() = default;
+  virtual void handle(Engine& engine, const Event& event) = 0;
+};
+
+struct EngineOptions {
+  /// Synchronization window width = minimum cross-partition link latency.
+  SimTime lookahead = milliseconds(1);
+  /// Modeled per-event processing cost in seconds on one engine node.
+  double cost_per_event_s = 5e-6;
+  /// Modeled per-window global synchronization cost in seconds (from the
+  /// cluster cost model, a function of the engine-node count).
+  double sync_cost_s = 0;
+  /// Simulation horizon; events at or beyond it are not executed.
+  SimTime end_time = seconds(1);
+  /// When > 0, per-LP event counts are recorded into virtual-time bins of
+  /// this width (for load-variation traces, paper Figure 3).
+  SimTime load_bin = 0;
+};
+
+struct RunStats {
+  std::uint64_t total_events = 0;
+  std::uint64_t num_windows = 0;
+  std::vector<std::uint64_t> events_per_lp;
+  /// Modeled parallel wall-clock (seconds): sum over windows of
+  /// max_lp(events * cost_per_event) + sync_cost.
+  double modeled_wall_s = 0;
+  /// Modeled wall-clock spent in synchronization only.
+  double modeled_sync_s = 0;
+  /// Per-LP modeled busy time (seconds).
+  std::vector<double> busy_s;
+  /// Virtual time at which the run stopped.
+  SimTime end_vtime = 0;
+  /// Per-LP load traces (empty unless EngineOptions::load_bin > 0).
+  std::vector<TimeSeries> lp_load;
+
+  /// Per-engine-node kernel event rates (events per modeled second of the
+  /// whole run), the quantity whose normalized stddev is the paper's load
+  /// imbalance metric.
+  std::vector<double> event_rates() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an LP; returns its id (dense, in registration order).
+  LpId add_lp(std::unique_ptr<LogicalProcess> lp);
+
+  std::int32_t num_lps() const {
+    return static_cast<std::int32_t>(lps_.size());
+  }
+
+  const EngineOptions& options() const { return opts_; }
+
+  /// Schedules an event. Usable both before run() (initial events, any LP)
+  /// and from inside LogicalProcess::handle. From a handler, an event for a
+  /// *different* LP must arrive at or after the end of the current window
+  /// (the conservative contract); same-LP events only need time >= now().
+  void schedule(LpId lp, SimTime time, std::int32_t type, std::uint64_t a = 0,
+                std::uint64_t b = 0, std::uint64_t c = 0, std::uint64_t d = 0);
+
+  /// Timestamp of the event being handled (valid inside handle()).
+  SimTime now() const { return threaded_ ? tls_now_ : now_; }
+
+  /// LP whose event is being handled (valid inside handle()).
+  LpId current_lp() const { return threaded_ ? tls_lp_ : current_lp_; }
+
+  /// Runs sequentially (deterministic reference executor) until end_time or
+  /// event exhaustion.
+  RunStats run();
+
+  /// Runs the same protocol with LPs distributed over `num_threads` worker
+  /// threads (round-robin). Produces bit-identical simulation results to
+  /// run(): within a window each LP is processed serially by one thread,
+  /// and the outbox merge at the barrier is order-independent of thread
+  /// scheduling. Modeled-time statistics are identical as well — only real
+  /// wall clock differs.
+  RunStats run_threaded(std::int32_t num_threads);
+
+  /// Requests a clean stop at the next window boundary (usable from
+  /// handlers and, in online mode, from the agent thread).
+  void request_stop() { stop_requested_ = true; }
+
+  /// Registers a hook invoked at every window barrier with the window
+  /// start time. The online layer paces virtual time and injects live
+  /// traffic here; the failover controller applies routing changes here
+  /// (the barrier is the only point where shared routing state can be
+  /// mutated safely under the threaded executor). Hooks run outside of any
+  /// handler, in registration order.
+  void add_barrier_hook(std::function<void(Engine&, SimTime)> hook) {
+    barrier_hooks_.push_back(std::move(hook));
+  }
+
+  /// Backward-compatible alias for a single hook.
+  void set_barrier_hook(std::function<void(Engine&, SimTime)> hook) {
+    add_barrier_hook(std::move(hook));
+  }
+
+ private:
+  friend class ThreadedExecutor;
+
+  struct Lp {
+    std::unique_ptr<LogicalProcess> process;
+    std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+    std::uint64_t next_seq = 0;
+    std::uint64_t events = 0;
+    std::uint64_t window_events = 0;
+    std::vector<Event> outbox;  // cross-LP sends buffered within a window
+  };
+
+  SimTime next_event_floor() const;
+  void deliver_outboxes();
+  void account_window();
+  void process_lp_window(LpId i);
+  void begin_run();
+  void finish_run(SimTime floor);
+
+  EngineOptions opts_;
+  std::vector<Lp> lps_;
+  SimTime now_ = 0;
+  LpId current_lp_ = kInvalidLp;
+  SimTime window_end_ = 0;
+  bool running_ = false;
+  bool threaded_ = false;
+  bool stop_requested_ = false;
+  RunStats stats_;
+  std::vector<std::function<void(Engine&, SimTime)>> barrier_hooks_;
+
+  // Handler context for worker threads; each LP is owned by exactly one
+  // thread within a window, so all queue/outbox mutations stay LP-local.
+  static thread_local SimTime tls_now_;
+  static thread_local LpId tls_lp_;
+};
+
+}  // namespace massf

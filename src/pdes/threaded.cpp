@@ -1,0 +1,62 @@
+// Threaded executor for the conservative engine: the same window protocol
+// as Engine::run(), with the per-window LP processing distributed over
+// worker threads. LPs are assigned round-robin; each LP's queue, outbox,
+// and statistics are touched only by its owning thread inside a window, so
+// no locks are needed — the std::barrier phases are the only coordination,
+// mirroring the MPI barrier of the real cluster engine.
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "pdes/engine.hpp"
+#include "util/check.hpp"
+
+namespace massf {
+
+RunStats Engine::run_threaded(std::int32_t num_threads) {
+  MASSF_CHECK(num_threads >= 1);
+  num_threads = std::min<std::int32_t>(num_threads,
+                                       std::max<std::int32_t>(1, num_lps()));
+  begin_run();
+  threaded_ = true;
+
+  std::barrier sync(num_threads + 1);
+  bool done = false;  // written by coordinator between barrier phases only
+
+  std::vector<std::jthread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads));
+  for (std::int32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([this, t, num_threads, &sync, &done] {
+      for (;;) {
+        sync.arrive_and_wait();  // window opened (or done raised)
+        if (done) return;
+        for (LpId i = t; i < static_cast<LpId>(lps_.size());
+             i += num_threads) {
+          process_lp_window(i);
+        }
+        sync.arrive_and_wait();  // window closed
+      }
+    });
+  }
+
+  SimTime floor = next_event_floor();
+  while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested_) {
+    window_end_ = floor + opts_.lookahead;
+    for (auto& hook : barrier_hooks_) hook(*this, floor);
+    sync.arrive_and_wait();  // release workers into the window
+    sync.arrive_and_wait();  // wait for all LPs to finish
+    deliver_outboxes();
+    account_window();
+    floor = next_event_floor();
+  }
+
+  done = true;
+  sync.arrive_and_wait();  // release workers to observe `done`
+
+  workers.clear();  // join
+  threaded_ = false;
+  finish_run(floor);
+  return stats_;
+}
+
+}  // namespace massf

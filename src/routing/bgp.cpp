@@ -1,0 +1,220 @@
+#include "routing/bgp.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace massf {
+namespace {
+
+AsRel invert(AsRel r) { return invert_rel(r); }
+
+bool exportable(bool is_local, AsRel learned_from, AsRel to_rel) {
+  return bgp_exportable(is_local, learned_from, to_rel);
+}
+
+}  // namespace
+
+AsRel invert_rel(AsRel r) {
+  switch (r) {
+    case AsRel::kProvider:
+      return AsRel::kCustomer;
+    case AsRel::kCustomer:
+      return AsRel::kProvider;
+    case AsRel::kPeer:
+      return AsRel::kPeer;
+  }
+  return AsRel::kPeer;
+}
+
+bool bgp_exportable(bool is_local, AsRel learned_from, AsRel to_rel) {
+  if (to_rel == AsRel::kCustomer) return true;
+  return is_local || learned_from == AsRel::kCustomer;
+}
+
+std::vector<std::vector<AsNeighbor>> build_as_neighbor_lists(
+    std::int32_t num_as, std::span<const AsAdjacency> adjacency) {
+  std::vector<std::vector<AsNeighbor>> lists(
+      static_cast<std::size_t>(num_as));
+  for (const AsAdjacency& adj : adjacency) {
+    MASSF_CHECK(adj.as_a >= 0 && adj.as_a < num_as);
+    MASSF_CHECK(adj.as_b >= 0 && adj.as_b < num_as);
+    auto& na = lists[static_cast<std::size_t>(adj.as_a)];
+    if (std::none_of(na.begin(), na.end(), [&](const AsNeighbor& n) {
+          return n.as == adj.as_b;
+        })) {
+      na.push_back({adj.as_b, adj.rel_ab});
+      lists[static_cast<std::size_t>(adj.as_b)].push_back(
+          {adj.as_a, invert_rel(adj.rel_ab)});
+    }
+  }
+  for (auto& ns : lists) {
+    std::sort(ns.begin(), ns.end(), [](const AsNeighbor& a, const AsNeighbor& b) {
+      return a.as < b.as;
+    });
+  }
+  return lists;
+}
+
+std::int16_t local_pref_for(AsRel learned_from) {
+  switch (learned_from) {
+    case AsRel::kCustomer:
+      return 120;
+    case AsRel::kPeer:
+      return 110;
+    case AsRel::kProvider:
+      return 100;
+  }
+  return 0;
+}
+
+BgpSolver::BgpSolver(std::int32_t num_as,
+                     std::span<const AsAdjacency> adjacency)
+    : num_as_(num_as),
+      neighbors_(static_cast<std::size_t>(num_as)),
+      routes_(static_cast<std::size_t>(num_as) *
+              static_cast<std::size_t>(num_as)),
+      paths_(static_cast<std::size_t>(num_as) *
+             static_cast<std::size_t>(num_as)) {
+  neighbors_ = build_as_neighbor_lists(num_as, adjacency);
+}
+
+AsRel BgpSolver::relationship(AsId from, AsId neighbor) const {
+  for (const Neighbor& n : neighbors_[static_cast<std::size_t>(from)]) {
+    if (n.as == neighbor) return n.rel;
+  }
+  MASSF_CHECK(false && "not adjacent");
+  return AsRel::kPeer;
+}
+
+void BgpSolver::solve() {
+  // Per-destination best-response iteration (Gauss-Seidel): every round,
+  // each AS recomputes its best policy-compliant route from its neighbors'
+  // *current* routes, exactly as if every neighbor had just re-announced.
+  // Gao-Rexford relationship structure has no dispute wheel, so this
+  // converges regardless of activation order; the round guard below turns a
+  // policy bug into a loud failure instead of a hang.
+  for (AsId dest = 0; dest < num_as_; ++dest) {
+    bool changed = true;
+    std::int32_t rounds = 0;
+    while (changed) {
+      changed = false;
+      ++rounds;
+      MASSF_CHECK(rounds <= 10 * num_as_ + 50);
+      for (AsId u = 0; u < num_as_; ++u) {
+        if (u == dest) continue;
+        // Compute u's best response.
+        BgpRoute best;
+        const std::vector<AsId>* best_tail = nullptr;
+        static const std::vector<AsId> kEmpty;
+        for (const Neighbor& n : neighbors_[static_cast<std::size_t>(u)]) {
+          const AsId v = n.as;
+          const std::vector<AsId>* tail;
+          std::int16_t cand_len;
+          if (v == dest) {
+            tail = &kEmpty;
+            cand_len = 1;
+          } else {
+            const BgpRoute& theirs = route_ref(v, dest);
+            if (theirs.next_hop_as < 0) continue;
+            // v applies its export policy toward u; from v's point of view
+            // u's relationship is the inverse of n.rel.
+            if (!exportable(/*is_local=*/false, theirs.learned_from,
+                            invert(n.rel))) {
+              continue;
+            }
+            tail = &path_ref(v, dest);
+            // AS-path loop rejection.
+            if (std::find(tail->begin(), tail->end(), u) != tail->end()) {
+              continue;
+            }
+            cand_len = static_cast<std::int16_t>(theirs.path_len + 1);
+          }
+          const std::int16_t pref = local_pref_for(n.rel);
+          const auto cand_key = std::make_tuple(-pref, cand_len, v);
+          const auto best_key = std::make_tuple(
+              static_cast<std::int16_t>(-best.local_pref), best.path_len,
+              best.next_hop_as);
+          if (best.next_hop_as >= 0 && cand_key >= best_key) continue;
+          best.next_hop_as = v;
+          best.path_len = cand_len;
+          best.local_pref = pref;
+          best.learned_from = n.rel;
+          best_tail = tail;
+        }
+
+        BgpRoute& mine = route_ref(u, dest);
+        std::vector<AsId>& my_path = path_ref(u, dest);
+        std::vector<AsId> new_path;
+        if (best.next_hop_as >= 0) {
+          new_path.reserve(best_tail->size() + 1);
+          new_path.push_back(best.next_hop_as);
+          new_path.insert(new_path.end(), best_tail->begin(),
+                          best_tail->end());
+          // Tails stored for v already end at dest; only the v==dest case
+          // (empty tail) needs the terminal appended.
+          if (new_path.back() != dest) new_path.push_back(dest);
+        }
+        if (mine.next_hop_as != best.next_hop_as ||
+            mine.path_len != best.path_len ||
+            mine.local_pref != best.local_pref || my_path != new_path) {
+          mine = best;
+          my_path = std::move(new_path);
+          changed = true;
+        }
+      }
+    }
+    iterations_ = std::max(iterations_, rounds);
+  }
+}
+
+const BgpRoute& BgpSolver::route(AsId from, AsId dest) const {
+  MASSF_CHECK(from >= 0 && from < num_as_ && dest >= 0 && dest < num_as_);
+  return route_ref(from, dest);
+}
+
+bool BgpSolver::reachable(AsId from, AsId dest) const {
+  if (from == dest) return true;
+  return route(from, dest).next_hop_as >= 0;
+}
+
+std::vector<AsId> BgpSolver::as_path(AsId from, AsId dest) const {
+  std::vector<AsId> path;
+  if (from == dest) {
+    path.push_back(from);
+    return path;
+  }
+  if (!reachable(from, dest)) return path;
+  path.push_back(from);
+  const std::vector<AsId>& tail = path_ref(from, dest);
+  path.insert(path.end(), tail.begin(), tail.end());
+  MASSF_CHECK(path.back() == dest);
+  return path;
+}
+
+bool BgpSolver::path_is_valley_free(AsId from, AsId dest) const {
+  const std::vector<AsId> path = as_path(from, dest);
+  if (path.size() < 2) return true;
+  // Phases: 0 = climbing (via providers), 1 = just crossed a peer link,
+  // 2 = descending (via customers).
+  int phase = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const AsRel step = relationship(path[i], path[i + 1]);
+    switch (step) {
+      case AsRel::kProvider:  // up
+        if (phase != 0) return false;
+        break;
+      case AsRel::kPeer:
+        if (phase >= 1) return false;
+        phase = 1;
+        break;
+      case AsRel::kCustomer:  // down
+        phase = 2;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace massf

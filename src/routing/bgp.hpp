@@ -1,0 +1,121 @@
+// Static BGP4 policy-routing solver.
+//
+// Computes, for every (AS, destination-AS) pair, the best route under the
+// paper's policy configuration (Section 5.1.1):
+//   import:  local preference by next-hop AS relationship,
+//            customer (120) > peer (110) > provider (100);
+//   export:  an AS exports its local route and customer-learned routes to
+//            everyone, but peer-/provider-learned routes only to its
+//            customers (Gao-Rexford);
+//   decision: highest local preference, then shortest AS path, then lowest
+//            next-hop AS id (deterministic tiebreak).
+// Routes are iterated to a fixed point, which Gao-Rexford policies
+// guarantee exists; AS-path loop detection mirrors BGP's own rule. The
+// resulting paths are valley-free, and reachability may be a strict subset
+// of connectivity — the property that distinguishes multi-AS networks from
+// flat OSPF in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace massf {
+
+struct BgpRoute {
+  AsId next_hop_as = -1;  ///< -1: no route (or self)
+  std::int16_t path_len = 0;
+  std::int16_t local_pref = 0;
+  AsRel learned_from = AsRel::kPeer;  ///< relationship of the announcing AS
+};
+
+/// One BGP adjacency as seen from an AS: the neighbor and what it is to us.
+struct AsNeighbor {
+  AsId as;
+  AsRel rel;
+};
+
+/// Deduplicated, sorted per-AS neighbor lists (multiple physical links per
+/// AS pair collapse into one session). Shared by the static solver and the
+/// dynamic protocol.
+std::vector<std::vector<AsNeighbor>> build_as_neighbor_lists(
+    std::int32_t num_as, std::span<const AsAdjacency> adjacency);
+
+/// The relationship seen from the other side.
+AsRel invert_rel(AsRel rel);
+
+/// Gao-Rexford export rule: a route may be announced to a neighbor of
+/// relationship `to_rel` iff it is our own prefix or customer-learned —
+/// unless the neighbor is our customer, who receives everything.
+bool bgp_exportable(bool is_local, AsRel learned_from, AsRel to_rel);
+
+class BgpSolver {
+ public:
+  BgpSolver(std::int32_t num_as, std::span<const AsAdjacency> adjacency);
+
+  /// Runs the path-vector computation for all destinations.
+  void solve();
+
+  /// Best route at `from` toward `dest`; next_hop_as is -1 when from==dest
+  /// or no policy-compliant route exists.
+  const BgpRoute& route(AsId from, AsId dest) const;
+
+  bool reachable(AsId from, AsId dest) const;
+
+  /// Reconstructs the AS path [from, ..., dest]; empty when unreachable.
+  std::vector<AsId> as_path(AsId from, AsId dest) const;
+
+  /// True when the AS path from->dest follows the valley-free pattern:
+  /// some customer->provider steps, at most one peer step, then some
+  /// provider->customer steps. Vacuously true when unreachable.
+  bool path_is_valley_free(AsId from, AsId dest) const;
+
+  std::int32_t num_as() const { return num_as_; }
+
+  /// Relationship of `neighbor` from `from`'s point of view; requires
+  /// adjacency.
+  AsRel relationship(AsId from, AsId neighbor) const;
+
+  /// Number of solver iterations used for the last solve() (diagnostic).
+  std::int32_t iterations() const { return iterations_; }
+
+ private:
+  using Neighbor = AsNeighbor;
+
+  const BgpRoute& route_ref(AsId from, AsId dest) const {
+    return routes_[static_cast<std::size_t>(from) *
+                       static_cast<std::size_t>(num_as_) +
+                   static_cast<std::size_t>(dest)];
+  }
+  BgpRoute& route_ref(AsId from, AsId dest) {
+    return routes_[static_cast<std::size_t>(from) *
+                       static_cast<std::size_t>(num_as_) +
+                   static_cast<std::size_t>(dest)];
+  }
+
+  const std::vector<AsId>& path_ref(AsId from, AsId dest) const {
+    return paths_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(num_as_) +
+                  static_cast<std::size_t>(dest)];
+  }
+  std::vector<AsId>& path_ref(AsId from, AsId dest) {
+    return paths_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(num_as_) +
+                  static_cast<std::size_t>(dest)];
+  }
+
+  std::int32_t num_as_;
+  std::vector<std::vector<Neighbor>> neighbors_;
+  std::vector<BgpRoute> routes_;
+  /// Full AS path (excluding the owner, ending at dest) per route; this is
+  /// what a real BGP RIB stores and what loop rejection inspects.
+  std::vector<std::vector<AsId>> paths_;
+  std::int32_t iterations_ = 0;
+};
+
+/// Local-preference values used by the import policy.
+std::int16_t local_pref_for(AsRel learned_from);
+
+}  // namespace massf

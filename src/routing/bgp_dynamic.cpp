@@ -1,0 +1,401 @@
+#include "routing/bgp_dynamic.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace massf {
+namespace {
+
+// Flow-tag payload (28 bits): sender AS (12 bits) | batch index (16 bits).
+constexpr std::uint32_t kAsBits = 12;
+constexpr std::uint32_t kIdxBits = 16;
+
+std::uint32_t batch_tag_payload(AsId sender, std::size_t index) {
+  MASSF_CHECK(sender < (1 << kAsBits));
+  MASSF_CHECK(index < (1u << kIdxBits));
+  return (static_cast<std::uint32_t>(sender) << kIdxBits) |
+         static_cast<std::uint32_t>(index);
+}
+
+// Timer payload: code (high 8 of the 56 payload bits) | AS id.
+constexpr std::uint64_t kTimerOriginate = 1;
+constexpr std::uint64_t kTimerBeacon = 2;
+constexpr std::uint64_t kTimerMrai = 3;  // c = neighbor index
+
+std::uint64_t timer_code(std::uint64_t code, AsId as) {
+  return (code << 32) | static_cast<std::uint32_t>(as);
+}
+
+}  // namespace
+
+std::vector<NodeId> add_bgp_speaker_hosts(Network& net,
+                                          double access_bandwidth_bps) {
+  std::vector<NodeId> speakers;
+  speakers.reserve(net.as_info.size());
+  MASSF_CHECK(!net.as_info.empty());
+  for (const AsInfo& info : net.as_info) {
+    const NodeId router = info.first_router;
+    NetNode h;
+    h.kind = NodeKind::kHost;
+    h.as_id = net.nodes[static_cast<std::size_t>(router)].as_id;
+    h.x = net.nodes[static_cast<std::size_t>(router)].x;
+    h.y = net.nodes[static_cast<std::size_t>(router)].y;
+    h.attach_router = router;
+    const auto hid = static_cast<NodeId>(net.nodes.size());
+    net.nodes.push_back(h);
+    NetLink l;
+    l.a = router;
+    l.b = hid;
+    l.latency = microseconds(10);
+    l.bandwidth_bps = access_bandwidth_bps;
+    net.links.push_back(l);
+    speakers.push_back(hid);
+  }
+  net.build_adjacency();
+  return speakers;
+}
+
+BgpSpeakers::BgpSpeakers(const Network& net, std::vector<NodeId> speaker_hosts,
+                         const BgpDynamicOptions& options)
+    : net_(&net),
+      speaker_hosts_(std::move(speaker_hosts)),
+      opts_(options),
+      num_as_(net.num_as()) {
+  MASSF_CHECK(static_cast<std::int32_t>(speaker_hosts_.size()) == num_as_);
+  const auto lists = build_as_neighbor_lists(num_as_, net.as_adjacency);
+  speakers_.resize(static_cast<std::size_t>(num_as_));
+  channels_.resize(static_cast<std::size_t>(num_as_));
+  host_as_.resize(static_cast<std::size_t>(num_as_));
+  for (AsId a = 0; a < num_as_; ++a) {
+    Speaker& s = speakers_[static_cast<std::size_t>(a)];
+    s.neighbors = lists[static_cast<std::size_t>(a)];
+    const std::size_t nn = s.neighbors.size();
+    const auto nd = static_cast<std::size_t>(num_as_);
+    s.rib_in.assign(nd * nn, Candidate{});
+    s.best.assign(nd, -1);
+    s.best_path.assign(nd, {});
+    s.rib_out.assign(nd * nn, 0);
+    s.last_change_for.assign(nd, -1);
+    s.pending.resize(nn);
+    s.next_send_ok.assign(nn, 0);
+    s.mrai_timer_armed.assign(nn, 0);
+    channels_[static_cast<std::size_t>(a)] = std::make_unique<Channel>();
+    host_as_[static_cast<std::size_t>(a)] = a;
+  }
+}
+
+std::int32_t BgpSpeakers::neighbor_index(AsId as, AsId neighbor) const {
+  const auto& ns = speakers_[static_cast<std::size_t>(as)].neighbors;
+  const auto it = std::lower_bound(
+      ns.begin(), ns.end(), neighbor,
+      [](const AsNeighbor& n, AsId v) { return n.as < v; });
+  MASSF_CHECK(it != ns.end() && it->as == neighbor);
+  return static_cast<std::int32_t>(it - ns.begin());
+}
+
+void BgpSpeakers::start(Engine& engine, NetSim& sim) {
+  // Stagger originations deterministically so convergence traffic does not
+  // arrive as one synchronized burst.
+  for (AsId a = 0; a < num_as_; ++a) {
+    sim.schedule_app_timer(
+        engine, speaker_hosts_[static_cast<std::size_t>(a)],
+        opts_.originate_at + microseconds(10) * a,
+        make_timer(TrafficKind::kBgp, timer_code(kTimerOriginate, a)));
+  }
+}
+
+void BgpSpeakers::on_timer(Engine& engine, NetSim& sim, NodeId host,
+                           std::uint64_t payload, std::uint64_t c) {
+  const auto code = payload >> 32;
+  const auto as = static_cast<AsId>(payload & 0xffffffffu);
+  MASSF_CHECK(speaker_hosts_[static_cast<std::size_t>(as)] == host);
+  if (code == kTimerOriginate) {
+    originate(engine, sim, as);
+  } else if (code == kTimerBeacon) {
+    if (c == 0) {
+      withdraw_own(engine, sim, as);
+    } else {
+      originate(engine, sim, as);
+    }
+  } else if (code == kTimerMrai) {
+    Speaker& s = speakers_[static_cast<std::size_t>(as)];
+    const auto ni = static_cast<std::size_t>(c);
+    MASSF_CHECK(ni < s.neighbors.size());
+    s.mrai_timer_armed[ni] = 0;
+    flush(engine, sim, as);
+  } else {
+    MASSF_CHECK(false && "unknown BGP timer");
+  }
+}
+
+void BgpSpeakers::originate(Engine& engine, NetSim& sim, AsId as) {
+  Speaker& s = speakers_[static_cast<std::size_t>(as)];
+  if (s.originated) return;
+  s.originated = true;
+  s.last_change = std::max(s.last_change, engine.now());
+  s.last_change_for[static_cast<std::size_t>(as)] = engine.now();
+  queue_export(as, as);
+  flush(engine, sim, as);
+}
+
+void BgpSpeakers::withdraw_own(Engine& engine, NetSim& sim, AsId as) {
+  Speaker& s = speakers_[static_cast<std::size_t>(as)];
+  if (!s.originated) return;
+  s.originated = false;
+  s.last_change = std::max(s.last_change, engine.now());
+  s.last_change_for[static_cast<std::size_t>(as)] = engine.now();
+  queue_export(as, as);
+  flush(engine, sim, as);
+}
+
+void BgpSpeakers::on_flow_complete(Engine& engine, NetSim& sim, FlowId,
+                                   NodeId, NodeId dst_host,
+                                   std::uint32_t tag) {
+  const std::uint32_t payload = tag_payload(tag);
+  const auto sender = static_cast<AsId>(payload >> kIdxBits);
+  const std::size_t index = payload & ((1u << kIdxBits) - 1);
+
+  // Identify the receiving AS from the speaker host.
+  const auto it = std::find(speaker_hosts_.begin(), speaker_hosts_.end(),
+                            dst_host);
+  MASSF_CHECK(it != speaker_hosts_.end());
+  const auto me = static_cast<AsId>(it - speaker_hosts_.begin());
+
+  std::vector<BgpDynUpdate> batch;
+  {
+    Channel& ch = *channels_[static_cast<std::size_t>(sender)];
+    std::lock_guard<std::mutex> lock(ch.mu);
+    MASSF_CHECK(index < ch.batches.size());
+    batch = ch.batches[index];  // copy under the lock
+  }
+  process_batch(engine, sim, me, sender, batch);
+}
+
+void BgpSpeakers::process_batch(Engine& engine, NetSim& sim, AsId me,
+                                AsId from,
+                                const std::vector<BgpDynUpdate>& batch) {
+  Speaker& s = speakers_[static_cast<std::size_t>(me)];
+  const std::int32_t ni = neighbor_index(me, from);
+  const std::size_t nn = s.neighbors.size();
+
+  std::set<AsId> touched;
+  for (const BgpDynUpdate& u : batch) {
+    MASSF_CHECK(u.dest >= 0 && u.dest < num_as_);
+    Candidate& cand =
+        s.rib_in[static_cast<std::size_t>(u.dest) * nn +
+                 static_cast<std::size_t>(ni)];
+    if (u.withdraw) {
+      cand.valid = false;
+      cand.path.clear();
+    } else if (std::find(u.path.begin(), u.path.end(), me) != u.path.end()) {
+      // AS-path loop: BGP silently discards — and any previously held
+      // candidate from this neighbor is replaced, i.e. implicitly
+      // withdrawn by the new (unusable) announcement.
+      cand.valid = false;
+      cand.path.clear();
+    } else {
+      cand.valid = true;
+      cand.path = u.path;
+    }
+    touched.insert(u.dest);
+  }
+  for (AsId dest : touched) reselect(engine, sim, me, dest);
+  flush(engine, sim, me);
+}
+
+void BgpSpeakers::reselect(Engine& engine, NetSim& sim, AsId me, AsId dest) {
+  (void)sim;
+  if (dest == me) return;  // own prefix handled by originate/withdraw_own
+  Speaker& s = speakers_[static_cast<std::size_t>(me)];
+  const std::size_t nn = s.neighbors.size();
+
+  std::int32_t best = -1;
+  std::tuple<std::int16_t, std::size_t, AsId> best_key{};
+  for (std::size_t i = 0; i < nn; ++i) {
+    const Candidate& cand =
+        s.rib_in[static_cast<std::size_t>(dest) * nn + i];
+    if (!cand.valid) continue;
+    const auto key = std::make_tuple(
+        static_cast<std::int16_t>(-local_pref_for(s.neighbors[i].rel)),
+        cand.path.size(), s.neighbors[i].as);
+    if (best < 0 || key < best_key) {
+      best = static_cast<std::int32_t>(i);
+      best_key = key;
+    }
+  }
+
+  std::vector<AsId> new_path;
+  if (best >= 0) {
+    const Candidate& cand =
+        s.rib_in[static_cast<std::size_t>(dest) * nn +
+                 static_cast<std::size_t>(best)];
+    new_path.reserve(cand.path.size() + 1);
+    new_path.push_back(me);
+    new_path.insert(new_path.end(), cand.path.begin(), cand.path.end());
+  }
+
+  auto& cur = s.best[static_cast<std::size_t>(dest)];
+  auto& cur_path = s.best_path[static_cast<std::size_t>(dest)];
+  if (cur == best && cur_path == new_path) return;
+  cur = best;
+  cur_path = std::move(new_path);
+  s.last_change = std::max(s.last_change, engine.now());
+  s.last_change_for[static_cast<std::size_t>(dest)] = engine.now();
+  queue_export(me, dest);
+}
+
+void BgpSpeakers::queue_export(AsId me, AsId dest) {
+  Speaker& s = speakers_[static_cast<std::size_t>(me)];
+  const std::size_t nn = s.neighbors.size();
+
+  const bool is_local = dest == me;
+  const bool have_route =
+      is_local ? s.originated : s.best[static_cast<std::size_t>(dest)] >= 0;
+  AsRel learned_from = AsRel::kCustomer;  // unused when is_local
+  if (!is_local && have_route) {
+    learned_from =
+        s.neighbors[static_cast<std::size_t>(
+                        s.best[static_cast<std::size_t>(dest)])]
+            .rel;
+  }
+
+  for (std::size_t i = 0; i < nn; ++i) {
+    char& out = s.rib_out[static_cast<std::size_t>(dest) * nn + i];
+    const bool export_ok =
+        have_route &&
+        bgp_exportable(is_local, learned_from, s.neighbors[i].rel);
+    // Implicit replacement: a newer update for the same prefix supersedes
+    // any still-pending one (matters under MRAI batching).
+    auto& q = s.pending[i];
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [dest](const BgpDynUpdate& u) {
+                             return u.dest == dest;
+                           }),
+            q.end());
+    if (export_ok) {
+      BgpDynUpdate u;
+      u.dest = dest;
+      u.withdraw = false;
+      if (is_local) {
+        u.path = {me};
+      } else {
+        u.path = s.best_path[static_cast<std::size_t>(dest)];
+      }
+      s.pending[i].push_back(std::move(u));
+      out = 1;
+    } else if (out != 0) {
+      BgpDynUpdate u;
+      u.dest = dest;
+      u.withdraw = true;
+      s.pending[i].push_back(std::move(u));
+      out = 0;
+    }
+  }
+}
+
+void BgpSpeakers::flush(Engine& engine, NetSim& sim, AsId me) {
+  Speaker& s = speakers_[static_cast<std::size_t>(me)];
+  for (std::size_t i = 0; i < s.neighbors.size(); ++i) {
+    if (s.pending[i].empty()) continue;
+    // MRAI: within the hold-down, defer (and batch further updates) until
+    // the per-session timer fires.
+    if (opts_.mrai > 0 && engine.now() < s.next_send_ok[i]) {
+      if (!s.mrai_timer_armed[i]) {
+        s.mrai_timer_armed[i] = 1;
+        sim.schedule_app_timer(
+            engine, speaker_hosts_[static_cast<std::size_t>(me)],
+            s.next_send_ok[i],
+            make_timer(TrafficKind::kBgp, timer_code(kTimerMrai, me)),
+            /*c=*/static_cast<std::uint64_t>(i));
+      }
+      continue;
+    }
+    s.next_send_ok[i] = engine.now() + opts_.mrai;
+    std::vector<BgpDynUpdate> batch;
+    batch.swap(s.pending[i]);
+    const std::size_t count = batch.size();
+    s.updates_sent += count;
+    ++s.batches_sent;
+
+    std::size_t index;
+    {
+      Channel& ch = *channels_[static_cast<std::size_t>(me)];
+      std::lock_guard<std::mutex> lock(ch.mu);
+      index = ch.batches.size();
+      ch.batches.push_back(std::move(batch));
+    }
+    const auto bytes =
+        static_cast<std::uint32_t>(40 + opts_.bytes_per_update * count);
+    sim.start_flow(engine, engine.now(),
+                   speaker_hosts_[static_cast<std::size_t>(me)],
+                   speaker_hosts_[static_cast<std::size_t>(
+                       s.neighbors[i].as)],
+                   bytes, make_tag(TrafficKind::kBgp,
+                                   batch_tag_payload(me, index)));
+  }
+}
+
+BgpRoute BgpSpeakers::best_route(AsId as, AsId dest) const {
+  MASSF_CHECK(as >= 0 && as < num_as_ && dest >= 0 && dest < num_as_);
+  BgpRoute r;
+  if (as == dest) return r;
+  const Speaker& s = speakers_[static_cast<std::size_t>(as)];
+  const std::int32_t best = s.best[static_cast<std::size_t>(dest)];
+  if (best < 0) return r;
+  const AsNeighbor& n = s.neighbors[static_cast<std::size_t>(best)];
+  r.next_hop_as = n.as;
+  r.learned_from = n.rel;
+  r.local_pref = local_pref_for(n.rel);
+  r.path_len = static_cast<std::int16_t>(
+      s.best_path[static_cast<std::size_t>(dest)].size() - 1);
+  return r;
+}
+
+std::vector<AsId> BgpSpeakers::as_path(AsId as, AsId dest) const {
+  if (as == dest) return {as};
+  const Speaker& s = speakers_[static_cast<std::size_t>(as)];
+  return s.best_path[static_cast<std::size_t>(dest)];
+}
+
+std::uint64_t BgpSpeakers::updates_sent() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.updates_sent;
+  return total;
+}
+
+std::uint64_t BgpSpeakers::batches_sent() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.batches_sent;
+  return total;
+}
+
+SimTime BgpSpeakers::last_change() const {
+  SimTime latest = -1;
+  for (const Speaker& s : speakers_) latest = std::max(latest, s.last_change);
+  return latest;
+}
+
+SimTime BgpSpeakers::last_change_for(AsId as, AsId dest) const {
+  return speakers_[static_cast<std::size_t>(as)]
+      .last_change_for[static_cast<std::size_t>(dest)];
+}
+
+void BgpSpeakers::schedule_beacon(Engine& engine, NetSim& sim, AsId beacon_as,
+                                  SimTime start, SimTime period,
+                                  std::int32_t toggles) {
+  MASSF_CHECK(beacon_as >= 0 && beacon_as < num_as_);
+  for (std::int32_t i = 0; i < toggles; ++i) {
+    // Even toggles withdraw, odd toggles re-announce (the beacon starts
+    // after normal origination, so the prefix is up when it begins).
+    sim.schedule_app_timer(
+        engine, speaker_hosts_[static_cast<std::size_t>(beacon_as)],
+        start + period * i,
+        make_timer(TrafficKind::kBgp, timer_code(kTimerBeacon, beacon_as)),
+        /*c=*/static_cast<std::uint64_t>(i % 2));
+  }
+}
+
+}  // namespace massf

@@ -1,0 +1,157 @@
+// Dynamic BGP4: the protocol itself running inside the packet simulation.
+//
+// The static solver (bgp.hpp) computes the fixed point the protocol
+// converges to; this layer actually runs the protocol: one BGP speaker per
+// AS originates its prefix and exchanges UPDATE messages (announcements
+// and withdrawals) with its neighbors as TCP flows through the simulated
+// network, applying the same import/export policies. This is what the
+// paper means by "detailed BGP4 routing protocol" support, and it enables
+// the validation studies proposed in the paper's future work — e.g. the
+// BGP Beacon experiment (periodically announce/withdraw a prefix and watch
+// the announcement propagate), provided here via schedule_beacon().
+//
+// Tests verify that after convergence the dynamic tables equal the static
+// solver's — protocol dynamics and fixed-point computation agree.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "routing/bgp.hpp"
+#include "traffic/manager.hpp"
+
+namespace massf {
+
+/// Appends one "route server" host per AS (attached to the AS's first
+/// router) to carry BGP sessions, returns the speaker host ids indexed by
+/// AS, and rebuilds adjacency. Call before constructing the ForwardingPlane.
+std::vector<NodeId> add_bgp_speaker_hosts(Network& net,
+                                          double access_bandwidth_bps = 1e9);
+
+struct BgpDynamicOptions {
+  /// Wire bytes charged per update in a batch (BGP UPDATE messages are
+  /// small; batches model TCP segment coalescing).
+  std::uint32_t bytes_per_update = 64;
+  /// Virtual time at which speakers originate their own prefixes.
+  SimTime originate_at = milliseconds(5);
+  /// Min Route Advertisement Interval per session (RFC 4271 suggests 30 s
+  /// for eBGP; simulators typically use much less). 0 disables: every
+  /// trigger flushes immediately. With MRAI on, updates within the
+  /// interval batch into one deferred announcement — fewer messages,
+  /// slower convergence.
+  SimTime mrai = 0;
+};
+
+struct BgpDynUpdate {
+  AsId dest = -1;            ///< the prefix (one per AS)
+  bool withdraw = false;
+  std::vector<AsId> path;    ///< announced path [sender, ..., dest]
+};
+
+class BgpSpeakers final : public TrafficComponent {
+ public:
+  /// `speaker_hosts[as]` carries AS `as`'s BGP sessions. Policies derive
+  /// from net.as_adjacency exactly as in the static solver.
+  BgpSpeakers(const Network& net, std::vector<NodeId> speaker_hosts,
+              const BgpDynamicOptions& options);
+
+  // ---- TrafficComponent ---------------------------------------------------
+  void start(Engine& engine, NetSim& sim) override;
+  void on_flow_complete(Engine& engine, NetSim& sim, FlowId flow,
+                        NodeId src_host, NodeId dst_host,
+                        std::uint32_t tag) override;
+  void on_timer(Engine& engine, NetSim& sim, NodeId host,
+                std::uint64_t payload, std::uint64_t c) override;
+
+  // ---- post-run queries ---------------------------------------------------
+
+  /// Best route adopted by `as` toward `dest`; next_hop_as == -1 when no
+  /// route (or as == dest).
+  BgpRoute best_route(AsId as, AsId dest) const;
+
+  /// Adopted AS path [as, ..., dest]; empty when unreachable.
+  std::vector<AsId> as_path(AsId as, AsId dest) const;
+
+  std::uint64_t updates_sent() const;
+  std::uint64_t batches_sent() const;
+
+  /// Virtual time of the last routing-table change anywhere — the
+  /// convergence instant (-1 if nothing ever changed).
+  SimTime last_change() const;
+
+  /// Per-AS virtual time of the last change affecting `dest`'s prefix
+  /// (what a beacon observation point measures); -1 if never changed.
+  SimTime last_change_for(AsId as, AsId dest) const;
+
+  // ---- experiments ----------------------------------------------------------
+
+  /// Beacon (paper Section 7): AS `beacon_as` withdraws and re-announces
+  /// its prefix `toggles` times, `period` apart, starting at `start`.
+  /// Mirrors the real-world RIPE/PSG BGP Beacons.
+  void schedule_beacon(Engine& engine, NetSim& sim, AsId beacon_as,
+                       SimTime start, SimTime period, std::int32_t toggles);
+
+ private:
+  struct Candidate {
+    bool valid = false;
+    std::vector<AsId> path;  ///< [neighbor, ..., dest]
+  };
+
+  struct Speaker {
+    std::vector<AsNeighbor> neighbors;
+    /// adj-rib-in: candidates_[dest * num_neighbors + neighbor_index].
+    std::vector<Candidate> rib_in;
+    /// Best route per dest (next-hop index into `neighbors`, -1 = none).
+    std::vector<std::int32_t> best;
+    std::vector<std::vector<AsId>> best_path;  ///< per dest, [me,...,dest]
+    /// adj-rib-out: announced_[dest * num_neighbors + n] — whether we last
+    /// sent an announcement (vs nothing/withdrawal) to that neighbor.
+    std::vector<char> rib_out;
+    bool originated = false;
+    std::vector<SimTime> last_change_for;  ///< per dest prefix
+    /// Pending updates per neighbor, flushed into one batch per trigger.
+    std::vector<std::vector<BgpDynUpdate>> pending;
+    /// MRAI state per neighbor: when we may send next, and whether a
+    /// deferred-flush timer is outstanding.
+    std::vector<SimTime> next_send_ok;
+    std::vector<char> mrai_timer_armed;
+    // Statistics, owned by this speaker's LP (summed by the getters).
+    std::uint64_t updates_sent = 0;
+    std::uint64_t batches_sent = 0;
+    SimTime last_change = -1;
+  };
+
+  // Batches in flight between speakers. Written by the sender's LP, read
+  // by the receiver's LP after the window barrier; the mutex makes the
+  // cross-thread access well-defined under the threaded executor.
+  struct Channel {
+    std::mutex mu;
+    std::deque<std::vector<BgpDynUpdate>> batches;
+    std::size_t consumed = 0;
+  };
+
+  std::int32_t neighbor_index(AsId as, AsId neighbor) const;
+  void originate(Engine& engine, NetSim& sim, AsId as);
+  void withdraw_own(Engine& engine, NetSim& sim, AsId as);
+  void process_batch(Engine& engine, NetSim& sim, AsId me, AsId from,
+                     const std::vector<BgpDynUpdate>& batch);
+  /// Recomputes the best route for (me, dest); if changed, records the
+  /// change and queues export updates.
+  void reselect(Engine& engine, NetSim& sim, AsId me, AsId dest);
+  void queue_export(AsId me, AsId dest);
+  void flush(Engine& engine, NetSim& sim, AsId me);
+
+  const Network* net_;
+  std::vector<NodeId> speaker_hosts_;
+  BgpDynamicOptions opts_;
+  std::int32_t num_as_;
+  std::vector<Speaker> speakers_;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< per sender AS
+  std::vector<AsId> host_as_;  ///< speaker host -> AS (dense by host order)
+};
+
+}  // namespace massf

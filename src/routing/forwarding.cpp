@@ -1,0 +1,241 @@
+#include "routing/forwarding.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+ForwardingPlane::ForwardingPlane(const Network& net) : net_(&net) {
+  // Every host has exactly one (access) link.
+  host_link_.assign(static_cast<std::size_t>(net.num_hosts()), kInvalidLink);
+  for (NodeId h = net.num_routers;
+       h < static_cast<NodeId>(net.nodes.size()); ++h) {
+    const auto inc = net.incident(h);
+    MASSF_CHECK(inc.size() == 1);
+    host_link_[static_cast<std::size_t>(h - net.num_routers)] = inc[0].link;
+  }
+}
+
+NodeId ForwardingPlane::dest_router(NodeId dest) const {
+  if (net_->is_host(dest)) {
+    return net_->nodes[static_cast<std::size_t>(dest)].attach_router;
+  }
+  return dest;
+}
+
+ForwardingPlane ForwardingPlane::build_flat(
+    const Network& net, std::span<const NodeId> dest_routers) {
+  ForwardingPlane fp(net);
+  std::vector<NodeId> all(static_cast<std::size_t>(net.num_routers));
+  for (NodeId r = 0; r < net.num_routers; ++r) {
+    all[static_cast<std::size_t>(r)] = r;
+  }
+  // Flat domains can register thousands of destinations over tens of
+  // thousands of routers; keeping distances would multiply table memory.
+  fp.flat_.emplace(net, all, /*use_inter_as_links=*/true,
+                   /*keep_distances=*/false);
+  for (NodeId d : dest_routers) fp.register_destination(d);
+  return fp;
+}
+
+ForwardingPlane ForwardingPlane::build_multi_as(
+    const Network& net, std::span<const NodeId> dest_routers,
+    const Options& opts) {
+  MASSF_CHECK(!net.as_info.empty());
+  ForwardingPlane fp(net);
+  fp.opts_ = opts;
+
+  const auto num_as = static_cast<std::size_t>(net.num_as());
+  fp.domains_.reserve(num_as);
+  for (const AsInfo& info : net.as_info) {
+    std::vector<NodeId> members(static_cast<std::size_t>(info.num_routers));
+    for (std::int32_t i = 0; i < info.num_routers; ++i) {
+      members[static_cast<std::size_t>(i)] = info.first_router + i;
+    }
+    fp.domains_.emplace_back(net, members, /*use_inter_as_links=*/false);
+  }
+
+  fp.bgp_.emplace(net.num_as(), net.as_adjacency);
+  fp.bgp_->solve();
+
+  fp.egress_.resize(num_as);
+  fp.select_egress();
+
+  for (NodeId d : dest_routers) fp.register_destination(d);
+  return fp;
+}
+
+void ForwardingPlane::select_egress() {
+  const Network& net = *net_;
+  const auto num_as = static_cast<std::size_t>(net.num_as());
+
+  // Deterministic egress selection: for each (AS, neighbor AS) pair keep
+  // the lowest *up* border link id; register its local endpoint as an OSPF
+  // destination inside the AS. Pairs whose every border link is down keep
+  // no entry (next_link then drops the packet).
+  for (auto& m : egress_) m.clear();
+  for (const AsAdjacency& adj : net.as_adjacency) {
+    if (down_links_.count(adj.link) > 0) continue;
+    const AsId as_a = adj.as_a, as_b = adj.as_b;
+    auto& ma = egress_[static_cast<std::size_t>(as_a)];
+    auto ita = ma.find(as_b);
+    if (ita == ma.end() || adj.link < ita->second) ma[as_b] = adj.link;
+    auto& mb = egress_[static_cast<std::size_t>(as_b)];
+    auto itb = mb.find(as_a);
+    if (itb == mb.end() || adj.link < itb->second) mb[as_a] = adj.link;
+  }
+  for (std::size_t a = 0; a < num_as; ++a) {
+    for (const auto& [nbr, link] : egress_[a]) {
+      const NetLink& l = net.links[static_cast<std::size_t>(link)];
+      const NodeId local = net.nodes[static_cast<std::size_t>(l.a)].as_id ==
+                                   static_cast<AsId>(a)
+                               ? l.a
+                               : l.b;
+      domains_[a].add_destination(net, local);
+    }
+  }
+
+  // Default routes for stub ASes: primary provider = adjacent provider
+  // with the lowest AS id whose border link is up (deterministic "pick
+  // default/backup routers" of step 6d — backups engage on failure).
+  default_egress_.assign(num_as, kInvalidLink);
+  if (opts_.stub_default_routing) {
+    for (AsId a = 0; a < net.num_as(); ++a) {
+      if (net.as_info[static_cast<std::size_t>(a)].cls != AsClass::kStub) {
+        continue;
+      }
+      AsId best_provider = -1;
+      for (const AsAdjacency& adj : net.as_adjacency) {
+        AsId other = -1;
+        if (adj.as_a == a && adj.rel_ab == AsRel::kProvider) other = adj.as_b;
+        if (adj.as_b == a && adj.rel_ab == AsRel::kCustomer) other = adj.as_a;
+        if (other >= 0 &&
+            egress_[static_cast<std::size_t>(a)].count(other) > 0 &&
+            (best_provider < 0 || other < best_provider)) {
+          best_provider = other;
+        }
+      }
+      if (best_provider >= 0) {
+        default_egress_[static_cast<std::size_t>(a)] =
+            egress_[static_cast<std::size_t>(a)].at(best_provider);
+      }
+    }
+  }
+}
+
+void ForwardingPlane::set_link_state(LinkId link, bool up) {
+  MASSF_CHECK(link >= 0 &&
+              link < static_cast<LinkId>(net_->links.size()));
+  if (up) {
+    down_links_.erase(link);
+  } else {
+    down_links_.insert(link);
+  }
+  const NetLink& l = net_->links[static_cast<std::size_t>(link)];
+  if (!net_->is_router(l.a) || !net_->is_router(l.b)) return;  // access link
+  if (flat_) {
+    flat_->set_link_excluded(link, !up);
+    return;
+  }
+  const AsId aa = net_->nodes[static_cast<std::size_t>(l.a)].as_id;
+  const AsId ab = net_->nodes[static_cast<std::size_t>(l.b)].as_id;
+  if (aa == ab) {
+    domains_[static_cast<std::size_t>(aa)].set_link_excluded(link, !up);
+  }
+  // Border links are handled by select_egress() during reconverge().
+}
+
+void ForwardingPlane::reconverge() {
+  if (flat_) {
+    flat_->recompute(*net_);
+    return;
+  }
+  select_egress();
+  for (OspfDomain& d : domains_) d.recompute(*net_);
+}
+
+void ForwardingPlane::register_destination(NodeId dest) {
+  MASSF_CHECK(net_->is_router(dest));
+  if (flat_) {
+    flat_->add_destination(*net_, dest);
+  } else {
+    const AsId a = net_->nodes[static_cast<std::size_t>(dest)].as_id;
+    domains_[static_cast<std::size_t>(a)].add_destination(*net_, dest);
+  }
+}
+
+LinkId ForwardingPlane::next_link(NodeId from, NodeId dest) const {
+  MASSF_CHECK(net_->is_router(from));
+  const NodeId droute = dest_router(dest);
+
+  // Arrived at the destination's attachment router: hand to the host (or
+  // terminate for router destinations).
+  if (from == droute) {
+    if (net_->is_host(dest)) {
+      return host_link_[static_cast<std::size_t>(dest - net_->num_routers)];
+    }
+    return kInvalidLink;
+  }
+
+  if (flat_) return flat_->next_link(from, droute);
+
+  const AsId my_as = net_->nodes[static_cast<std::size_t>(from)].as_id;
+  const AsId dest_as = net_->nodes[static_cast<std::size_t>(droute)].as_id;
+
+  if (my_as == dest_as) {
+    return domains_[static_cast<std::size_t>(my_as)].next_link(from, droute);
+  }
+
+  // Inter-AS: pick the egress border link, default-routed for stubs.
+  LinkId egress = kInvalidLink;
+  if (opts_.stub_default_routing &&
+      net_->as_info[static_cast<std::size_t>(my_as)].cls == AsClass::kStub &&
+      default_egress_[static_cast<std::size_t>(my_as)] != kInvalidLink) {
+    egress = default_egress_[static_cast<std::size_t>(my_as)];
+  } else {
+    const BgpRoute& r = bgp_->route(my_as, dest_as);
+    if (r.next_hop_as < 0) return kInvalidLink;  // policy-unreachable
+    const auto& m = egress_[static_cast<std::size_t>(my_as)];
+    const auto it = m.find(r.next_hop_as);
+    // Every border link toward the BGP next hop may be down (the control
+    // plane has not re-learned a path yet): blackhole, as in real life.
+    if (it == m.end()) return kInvalidLink;
+    egress = it->second;
+  }
+
+  const NetLink& l = net_->links[static_cast<std::size_t>(egress)];
+  const NodeId local_end =
+      net_->nodes[static_cast<std::size_t>(l.a)].as_id == my_as ? l.a : l.b;
+  if (from == local_end) return egress;  // cross the border
+  return domains_[static_cast<std::size_t>(my_as)].next_link(from, local_end);
+}
+
+bool ForwardingPlane::reachable(NodeId from, NodeId dest) const {
+  if (flat_) return true;  // connected flat network: OSPF reaches everything
+  NodeId from_router = net_->is_host(from)
+                           ? net_->nodes[static_cast<std::size_t>(from)]
+                                 .attach_router
+                           : from;
+  const AsId a = net_->nodes[static_cast<std::size_t>(from_router)].as_id;
+  const AsId b =
+      net_->nodes[static_cast<std::size_t>(dest_router(dest))].as_id;
+  if (a == b) return true;
+  if (bgp_->reachable(a, b)) return true;
+  // A default-routed stub can still emit traffic upward; it is deliverable
+  // iff its primary provider has a route.
+  if (opts_.stub_default_routing &&
+      net_->as_info[static_cast<std::size_t>(a)].cls == AsClass::kStub &&
+      default_egress_[static_cast<std::size_t>(a)] != kInvalidLink) {
+    const NetLink& l = net_->links[static_cast<std::size_t>(
+        default_egress_[static_cast<std::size_t>(a)])];
+    const AsId provider =
+        net_->nodes[static_cast<std::size_t>(l.a)].as_id == a
+            ? net_->nodes[static_cast<std::size_t>(l.b)].as_id
+            : net_->nodes[static_cast<std::size_t>(l.a)].as_id;
+    return bgp_->reachable(provider, b);
+  }
+  return false;
+}
+
+}  // namespace massf

@@ -1,0 +1,100 @@
+// The unified router-level forwarding plane the packet simulation queries.
+//
+// Flat (single-AS) networks: one OSPF domain over all routers.
+// Multi-AS networks: per-AS OSPF domains for intra-AS hops, a BGP policy
+// solver for the AS-level next hop, deterministic egress (border link)
+// selection per (AS, next-AS) pair, and — per the paper's Section 5.1.2
+// step 6 — default routing in Stub ASes: stub routers forward any non-local
+// destination toward the border link of their primary provider instead of
+// carrying full BGP tables.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/bgp.hpp"
+#include "routing/ospf.hpp"
+#include "topology/network.hpp"
+
+namespace massf {
+
+class ForwardingPlane {
+ public:
+  struct Options {
+    /// Stub ASes use a default route toward their primary provider instead
+    /// of per-destination BGP lookups (paper Section 5.1.2 step 6c/6d).
+    bool stub_default_routing = true;
+  };
+
+  /// Flat network: OSPF shortest path everywhere. `dest_routers` are the
+  /// routers that will terminate traffic (attachment points of active
+  /// hosts); only those get routing tables.
+  static ForwardingPlane build_flat(const Network& net,
+                                    std::span<const NodeId> dest_routers);
+
+  /// Multi-AS network with BGP inter-domain routing.
+  static ForwardingPlane build_multi_as(const Network& net,
+                                        std::span<const NodeId> dest_routers,
+                                        const Options& opts);
+  static ForwardingPlane build_multi_as(const Network& net,
+                                        std::span<const NodeId> dest_routers) {
+    return build_multi_as(net, dest_routers, Options{});
+  }
+
+  /// The link a packet at router `from` takes toward `dest` (host or
+  /// router). Returns the host access link when dest is a host attached to
+  /// `from`; kInvalidLink when the packet has arrived (from == dest) or no
+  /// policy-compliant route exists (caller drops the packet).
+  LinkId next_link(NodeId from, NodeId dest) const;
+
+  /// Whether policy routing admits a path (connectivity != reachability in
+  /// multi-AS networks).
+  bool reachable(NodeId from, NodeId dest) const;
+
+  /// Router terminating traffic for `dest` (the host's attachment router,
+  /// or the router itself).
+  NodeId dest_router(NodeId dest) const;
+
+  const BgpSolver* bgp() const { return bgp_ ? &*bgp_ : nullptr; }
+
+  bool is_multi_as() const { return bgp_.has_value(); }
+
+  /// Control-plane view of a link failure/restoration. Takes effect at the
+  /// next reconverge(). Intra-domain links are withdrawn from their OSPF
+  /// domain; border links trigger egress re-selection among the remaining
+  /// up links of the AS pair. Host access links are ignored (no routing
+  /// choice exists). NOT thread-safe against concurrent next_link lookups
+  /// — mutate only at a window barrier.
+  void set_link_state(LinkId link, bool up);
+
+  /// Recomputes every routing table under the current link states (the
+  /// SPF run after the flooding delay). Mutate-at-barrier only.
+  void reconverge();
+
+ private:
+  explicit ForwardingPlane(const Network& net);
+
+  void register_destination(NodeId dest_router);
+
+  const Network* net_;
+  std::vector<LinkId> host_link_;  // per host index (id - num_routers)
+
+  // Flat mode.
+  std::optional<OspfDomain> flat_;
+
+  void select_egress();
+
+  // Multi-AS mode.
+  std::vector<OspfDomain> domains_;  // one per AS
+  std::optional<BgpSolver> bgp_;
+  std::vector<std::unordered_map<AsId, LinkId>> egress_;  // per AS
+  std::vector<LinkId> default_egress_;                    // per AS, stubs only
+  Options opts_;
+  std::unordered_set<LinkId> down_links_;
+};
+
+}  // namespace massf

@@ -1,0 +1,119 @@
+#include "routing/ospf.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+OspfDomain::OspfDomain(const Network& net, std::span<const NodeId> members,
+                       bool use_inter_as_links, bool keep_distances)
+    : members_(members.begin(), members.end()),
+      keep_distances_(keep_distances) {
+  local_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    MASSF_CHECK(net.is_router(members_[i]));
+    const bool inserted =
+        local_.emplace(members_[i], static_cast<std::int32_t>(i)).second;
+    MASSF_CHECK(inserted);
+  }
+  arcs_.resize(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (const auto& inc : net.incident(members_[i])) {
+      const NetLink& l = net.links[static_cast<std::size_t>(inc.link)];
+      if (l.inter_as && !use_inter_as_links) continue;
+      auto it = local_.find(inc.peer);
+      if (it == local_.end()) continue;
+      arcs_[i].push_back({inc.link, it->second, l.latency});
+    }
+  }
+}
+
+std::int32_t OspfDomain::local_index(NodeId router) const {
+  auto it = local_.find(router);
+  return it == local_.end() ? -1 : it->second;
+}
+
+void OspfDomain::add_destination(const Network& net, NodeId dest) {
+  (void)net;
+  if (tables_.count(dest) > 0) return;
+  const std::int32_t d = local_index(dest);
+  MASSF_CHECK(d >= 0);
+
+  Table t;
+  t.next.assign(members_.size(), kInvalidLink);
+  t.dist.assign(members_.size(), -1);
+
+  // Dijkstra outward from the destination; because links are symmetric the
+  // tree rooted at dest gives, for every router, the first link of its
+  // shortest path *toward* dest. Ties are broken toward the lower link id
+  // so tables are deterministic.
+  using QItem = std::pair<std::int64_t, std::int32_t>;  // (dist, local idx)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  t.dist[static_cast<std::size_t>(d)] = 0;
+  pq.push({0, d});
+  while (!pq.empty()) {
+    const auto [dist, v] = pq.top();
+    pq.pop();
+    if (dist != t.dist[static_cast<std::size_t>(v)]) continue;
+    for (const Arc& a : arcs_[static_cast<std::size_t>(v)]) {
+      if (!excluded_.empty() && excluded_.count(a.link) > 0) continue;
+      const std::int64_t nd = dist + a.cost;
+      auto& cur = t.dist[static_cast<std::size_t>(a.peer)];
+      auto& nxt = t.next[static_cast<std::size_t>(a.peer)];
+      if (cur < 0 || nd < cur || (nd == cur && a.link < nxt)) {
+        cur = nd;
+        nxt = a.link;
+        pq.push({nd, a.peer});
+      }
+    }
+  }
+  if (!keep_distances_) {
+    t.dist.clear();
+    t.dist.shrink_to_fit();
+  }
+  tables_.emplace(dest, std::move(t));
+}
+
+void OspfDomain::set_link_excluded(LinkId link, bool excluded) {
+  if (excluded) {
+    excluded_.insert(link);
+  } else {
+    excluded_.erase(link);
+  }
+}
+
+void OspfDomain::recompute(const Network& net) {
+  std::vector<NodeId> dests;
+  dests.reserve(tables_.size());
+  for (const auto& [dest, table] : tables_) dests.push_back(dest);
+  tables_.clear();
+  for (const NodeId d : dests) add_destination(net, d);
+}
+
+LinkId OspfDomain::next_link(NodeId from, NodeId dest) const {
+  auto it = tables_.find(dest);
+  MASSF_CHECK(it != tables_.end());
+  const std::int32_t f = local_index(from);
+  MASSF_CHECK(f >= 0);
+  return it->second.next[static_cast<std::size_t>(f)];
+}
+
+NodeId OspfDomain::next_hop(const Network& net, NodeId from,
+                            NodeId dest) const {
+  const LinkId l = next_link(from, dest);
+  if (l == kInvalidLink) return kInvalidNode;
+  const NetLink& link = net.links[static_cast<std::size_t>(l)];
+  return link.a == from ? link.b : link.a;
+}
+
+std::int64_t OspfDomain::distance(NodeId from, NodeId dest) const {
+  MASSF_CHECK(keep_distances_);
+  auto it = tables_.find(dest);
+  MASSF_CHECK(it != tables_.end());
+  const std::int32_t f = local_index(from);
+  MASSF_CHECK(f >= 0);
+  return it->second.dist[static_cast<std::size_t>(f)];
+}
+
+}  // namespace massf

@@ -1,0 +1,85 @@
+// OSPF-style intra-domain routing: shortest paths by cumulative link
+// latency, computed as one reverse shortest-path tree per *destination*
+// router. Computing trees per destination (rather than per source) keeps
+// large networks feasible: only routers that actually terminate or egress
+// traffic need tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace massf {
+
+/// Shortest-path routing over a set of member routers of one routing domain
+/// (a whole flat network, or the routers of one AS using only intra-AS
+/// links).
+class OspfDomain {
+ public:
+  /// `members` are the global router ids of the domain. Only links with
+  /// both endpoints in `members` (and not marked inter_as unless
+  /// `use_inter_as_links`) are considered. With `keep_distances` false the
+  /// per-destination distance arrays are discarded after the SPT is built
+  /// (they cost 8 bytes x routers x destinations — prohibitive for a
+  /// 20,000-router flat domain with thousands of destinations); distance()
+  /// is then unavailable.
+  OspfDomain(const Network& net, std::span<const NodeId> members,
+             bool use_inter_as_links, bool keep_distances = true);
+
+  /// Computes the reverse shortest-path tree toward `dest` (a member) and
+  /// stores the per-router next hop. Safe to call for the same dest twice.
+  void add_destination(const Network& net, NodeId dest);
+
+  bool has_destination(NodeId dest) const {
+    return tables_.count(dest) > 0;
+  }
+
+  /// Next link from `from` (a member router) toward `dest` (a registered
+  /// destination). Returns kInvalidLink when from == dest or unreachable.
+  LinkId next_link(NodeId from, NodeId dest) const;
+
+  /// Next router on the path (the peer across next_link).
+  NodeId next_hop(const Network& net, NodeId from, NodeId dest) const;
+
+  /// Administratively excludes (or restores) a link; takes effect at the
+  /// next recompute(). Models the SPF view after an LSA withdrawal.
+  void set_link_excluded(LinkId link, bool excluded);
+
+  /// Recomputes every registered destination's tree under the current
+  /// exclusions.
+  void recompute(const Network& net);
+
+  /// Latency distance (ns) from `from` to registered `dest`; -1 if
+  /// unreachable. Requires keep_distances.
+  std::int64_t distance(NodeId from, NodeId dest) const;
+
+  std::size_t num_destinations() const { return tables_.size(); }
+
+ private:
+  struct Table {
+    std::vector<LinkId> next;        // per local index
+    std::vector<std::int64_t> dist;  // ns, -1 unreachable; empty when
+                                     // distances are not kept
+  };
+
+  std::int32_t local_index(NodeId router) const;
+
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, std::int32_t> local_;
+  // Local adjacency restricted to the domain: (link, peer local idx, cost).
+  struct Arc {
+    LinkId link;
+    std::int32_t peer;
+    std::int64_t cost;
+  };
+  std::vector<std::vector<Arc>> arcs_;
+  std::unordered_map<NodeId, Table> tables_;
+  std::unordered_set<LinkId> excluded_;
+  bool keep_distances_ = true;
+};
+
+}  // namespace massf

@@ -1,0 +1,52 @@
+#include "sim/failover.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+FailoverController::FailoverController(ForwardingPlane& fp,
+                                       SimTime convergence_delay)
+    : fp_(&fp), delay_(convergence_delay) {
+  MASSF_CHECK(convergence_delay >= 0);
+}
+
+void FailoverController::attach(Engine& engine) {
+  engine.add_barrier_hook([this](Engine& eng, SimTime window_start) {
+    on_barrier(eng, window_start);
+  });
+}
+
+void FailoverController::schedule(Engine& engine, NetSim& sim, LinkId link,
+                                  SimTime when, bool up) {
+  sim.schedule_link_state(engine, link, when, up);
+  pending_.push_back({when + delay_, link, up});
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Pending& a, const Pending& b) { return a.at < b.at; });
+}
+
+void FailoverController::fail_link(Engine& engine, NetSim& sim, LinkId link,
+                                   SimTime when) {
+  schedule(engine, sim, link, when, /*up=*/false);
+}
+
+void FailoverController::restore_link(Engine& engine, NetSim& sim,
+                                      LinkId link, SimTime when) {
+  schedule(engine, sim, link, when, /*up=*/true);
+}
+
+void FailoverController::on_barrier(Engine&, SimTime window_start) {
+  bool any = false;
+  while (!pending_.empty() && pending_.front().at <= window_start) {
+    fp_->set_link_state(pending_.front().link, pending_.front().up);
+    pending_.erase(pending_.begin());
+    any = true;
+  }
+  if (any) {
+    fp_->reconverge();
+    ++reconvergences_;
+  }
+}
+
+}  // namespace massf

@@ -1,0 +1,57 @@
+// Failure injection with routing re-convergence.
+//
+// A link failure has two timescales: the data plane loses the link
+// immediately (packets offered to it are dropped), while the control plane
+// reroutes only after detection + LSA flooding + SPF — the convergence
+// delay. The FailoverController models both: it schedules the physical
+// state change in the packet simulation and, one convergence delay later,
+// applies the withdrawal to the ForwardingPlane and recomputes routes.
+// Routing tables are shared by every logical process, so mutation happens
+// exclusively at a window barrier (the engine hook), where all workers are
+// quiescent — the same discipline a real conservative engine would use for
+// global state updates.
+#pragma once
+
+#include <vector>
+
+#include "net/netsim.hpp"
+#include "routing/forwarding.hpp"
+
+namespace massf {
+
+class FailoverController {
+ public:
+  /// `convergence_delay` models detection + flooding + SPF (tens of
+  /// milliseconds to seconds in real deployments).
+  FailoverController(ForwardingPlane& fp, SimTime convergence_delay);
+
+  /// Installs the barrier hook. Call once before the run.
+  void attach(Engine& engine);
+
+  /// Schedules a failure (or restoration) at virtual time `when`: the data
+  /// plane changes at `when`, routing reconverges at `when` + delay. Call
+  /// before the run.
+  void fail_link(Engine& engine, NetSim& sim, LinkId link, SimTime when);
+  void restore_link(Engine& engine, NetSim& sim, LinkId link, SimTime when);
+
+  /// Number of reconvergence (table-rebuild) events applied so far.
+  std::int32_t reconvergences() const { return reconvergences_; }
+
+ private:
+  struct Pending {
+    SimTime at;
+    LinkId link;
+    bool up;
+  };
+
+  void schedule(Engine& engine, NetSim& sim, LinkId link, SimTime when,
+                bool up);
+  void on_barrier(Engine& engine, SimTime window_start);
+
+  ForwardingPlane* fp_;
+  SimTime delay_;
+  std::vector<Pending> pending_;  ///< touched pre-run and from the hook only
+  std::int32_t reconvergences_ = 0;
+};
+
+}  // namespace massf

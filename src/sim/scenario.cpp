@@ -1,0 +1,225 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "traffic/dataflow.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace massf {
+
+const char* app_kind_name(AppKind kind) {
+  switch (kind) {
+    case AppKind::kNone:
+      return "none";
+    case AppKind::kScaLapack:
+      return "ScaLapack";
+    case AppKind::kGridNpb:
+      return "GridNPB";
+  }
+  return "?";
+}
+
+ScenarioOptions paper_full_scale_single_as() {
+  ScenarioOptions o;
+  o.multi_as = false;
+  o.num_routers = 20000;
+  o.num_hosts = 10000;
+  // The paper's 8000 clients + 2000 servers saturate its 10,000 hosts; we
+  // carve the application hosts out of the client pool (the paper ran
+  // applications on separate physical nodes outside the virtual network).
+  o.num_clients = 7950;
+  o.num_servers = 2000;
+  o.num_engines = 90;
+  o.num_app_hosts = 32;
+  return o;
+}
+
+ScenarioOptions paper_full_scale_multi_as() {
+  ScenarioOptions o = paper_full_scale_single_as();
+  o.multi_as = true;
+  o.num_as = 100;  // 100 ASes x 200 routers
+  return o;
+}
+
+Scenario::Scenario(const ScenarioOptions& options) : opts_(options) {
+  MASSF_CHECK(opts_.num_engines >= 1);
+  opts_.cluster.num_engine_nodes = opts_.num_engines;
+  opts_.mapping.num_engines = opts_.num_engines;
+  opts_.mapping.cluster = opts_.cluster;
+
+  if (opts_.multi_as) {
+    MaBriteOptions mo;
+    mo.num_as = opts_.num_as;
+    mo.routers_per_as = opts_.num_routers / opts_.num_as;
+    mo.num_hosts = opts_.num_hosts;
+    mo.seed = opts_.seed;
+    net_ = generate_multi_as(mo);
+  } else {
+    BriteOptions bo;
+    bo.num_routers = opts_.num_routers;
+    bo.num_hosts = opts_.num_hosts;
+    bo.seed = opts_.seed;
+    net_ = generate_flat(bo);
+  }
+  const std::string problem = net_.validate();
+  MASSF_CHECK(problem.empty());
+
+  select_hosts();
+
+  // Destination routers: the attachment points of every traffic endpoint
+  // (acks and responses need the reverse direction too, which the same set
+  // covers).
+  std::vector<NodeId> dests;
+  const auto add_dests = [&](std::span<const NodeId> hosts) {
+    for (NodeId h : hosts) {
+      dests.push_back(net_.nodes[static_cast<std::size_t>(h)].attach_router);
+    }
+  };
+  add_dests(clients_);
+  add_dests(servers_);
+  add_dests(app_hosts_);
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+
+  if (opts_.multi_as) {
+    fp_ = std::make_unique<ForwardingPlane>(
+        ForwardingPlane::build_multi_as(net_, dests));
+  } else {
+    fp_ = std::make_unique<ForwardingPlane>(
+        ForwardingPlane::build_flat(net_, dests));
+  }
+}
+
+void Scenario::select_hosts() {
+  const std::int32_t needed =
+      opts_.num_clients + opts_.num_servers +
+      (opts_.app == AppKind::kNone ? 0 : opts_.num_app_hosts);
+  MASSF_CHECK(needed <= net_.num_hosts());
+
+  std::vector<NodeId> hosts(static_cast<std::size_t>(net_.num_hosts()));
+  std::iota(hosts.begin(), hosts.end(), net_.num_routers);
+  Rng rng = Rng(opts_.seed).fork("host-selection");
+  rng.shuffle(hosts);
+
+  auto it = hosts.begin();
+  clients_.assign(it, it + opts_.num_clients);
+  it += opts_.num_clients;
+  servers_.assign(it, it + opts_.num_servers);
+  it += opts_.num_servers;
+  if (opts_.app != AppKind::kNone) {
+    app_hosts_.assign(it, it + opts_.num_app_hosts);
+  }
+}
+
+void Scenario::install_traffic(Engine& engine, NetSim& sim,
+                               TrafficManager& manager,
+                               bool profiling) const {
+  (void)engine;
+  HttpOptions http = opts_.http;
+  http.seed = opts_.seed ^ 0x48545450;  // "HTTP"
+  // The profiling run draws different traffic randomness than the measured
+  // run: profiles must predict a *future* execution (paper Section 3.3),
+  // not replay the identical one.
+  if (profiling) http.seed ^= 0x50524F46;  // "PROF"
+  manager.add(TrafficKind::kHttp,
+              std::make_unique<HttpWorkload>(clients_, servers_, http));
+
+  if (opts_.app == AppKind::kScaLapack) {
+    manager.add(TrafficKind::kApp,
+                std::make_unique<DataflowApp>(
+                    make_scalapack(app_hosts_, opts_.scalapack),
+                    /*start_at=*/milliseconds(10)));
+  } else if (opts_.app == AppKind::kGridNpb) {
+    const auto graphs = make_gridnpb_mix(app_hosts_, opts_.gridnpb);
+    manager.add(TrafficKind::kApp,
+                std::make_unique<DataflowApp>(merge_graphs(graphs),
+                                              /*start_at=*/milliseconds(10)));
+  }
+  (void)sim;
+}
+
+SimTime Scenario::lookahead_for(std::span<const LpId> router_lp) const {
+  MASSF_CHECK(static_cast<NodeId>(router_lp.size()) == net_.num_routers);
+  SimTime mll = kSimTimeMax;
+  for (const NetLink& l : net_.links) {
+    if (!net_.is_router(l.a) || !net_.is_router(l.b)) continue;
+    if (router_lp[static_cast<std::size_t>(l.a)] !=
+        router_lp[static_cast<std::size_t>(l.b)]) {
+      mll = std::min(mll, l.latency);
+    }
+  }
+  if (mll == kSimTimeMax) mll = milliseconds(10);
+  return mll;
+}
+
+const TrafficProfile& Scenario::profile() {
+  if (profile_) return *profile_;
+
+  const std::vector<LpId> naive = naive_mapping(net_, opts_.num_engines);
+
+  EngineOptions eo;
+  eo.lookahead = lookahead_for(naive);
+  eo.cost_per_event_s = opts_.cluster.cost_per_event_s;
+  eo.sync_cost_s = opts_.cluster.sync_cost_s();
+  eo.end_time = opts_.profile_end_time;
+  Engine engine(eo);
+
+  NetSimOptions no = opts_.netsim;
+  no.collect_node_profile = true;
+  NetSim sim(net_, *fp_, naive, engine, no);
+  TrafficManager manager(sim);
+  install_traffic(engine, sim, manager, /*profiling=*/true);
+  manager.start(engine, sim);
+  engine.run();
+
+  profile_ = fold_profile(net_, sim.node_profile());
+  MASSF_LOG(kDebug) << "profiling run complete";
+  return *profile_;
+}
+
+Mapping Scenario::mapping_for(MappingKind kind) {
+  MappingOptions mo = opts_.mapping;
+  mo.kind = kind;
+  mo.seed = opts_.seed ^ 0x4d415050;  // "MAPP"
+  const TrafficProfile* prof =
+      mapping_uses_profile(kind) ? &profile() : nullptr;
+  std::vector<NodeId> placement;
+  if (kind == MappingKind::kPlace) {
+    placement.insert(placement.end(), clients_.begin(), clients_.end());
+    placement.insert(placement.end(), servers_.begin(), servers_.end());
+    placement.insert(placement.end(), app_hosts_.begin(), app_hosts_.end());
+  }
+  return compute_mapping(net_, mo, prof, placement);
+}
+
+ExperimentResult Scenario::run(const Mapping& mapping) {
+  MASSF_CHECK(static_cast<NodeId>(mapping.router_lp.size()) ==
+              net_.num_routers);
+
+  EngineOptions eo;
+  eo.lookahead = lookahead_for(mapping.router_lp);
+  eo.cost_per_event_s = opts_.cluster.cost_per_event_s;
+  eo.sync_cost_s = opts_.cluster.sync_cost_s();
+  eo.end_time = opts_.end_time;
+  eo.load_bin = opts_.load_bin;
+  Engine engine(eo);
+
+  NetSim sim(net_, *fp_, mapping.router_lp, engine, opts_.netsim);
+  TrafficManager manager(sim);
+  install_traffic(engine, sim, manager, /*profiling=*/false);
+  manager.start(engine, sim);
+
+  ExperimentResult result;
+  result.mapping = mapping;
+  result.stats = opts_.executor_threads > 0
+                     ? engine.run_threaded(opts_.executor_threads)
+                     : engine.run();
+  result.metrics = compute_metrics(result.stats, opts_.cluster);
+  result.counters = sim.totals();
+  return result;
+}
+
+}  // namespace massf

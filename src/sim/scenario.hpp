@@ -1,0 +1,116 @@
+// The experiment facade: one object owning the full pipeline
+//   topology generation -> routing -> (profiling run) -> mapping ->
+//   packet-level simulation -> metrics,
+// exactly the loop the paper's evaluation executes for every combination
+// of {network, application, mapping approach}. All benches and most
+// examples drive this class.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "lb/mapping.hpp"
+#include "lb/profile.hpp"
+#include "net/netsim.hpp"
+#include "routing/forwarding.hpp"
+#include "topology/brite.hpp"
+#include "topology/mabrite.hpp"
+#include "traffic/apps.hpp"
+#include "traffic/http.hpp"
+
+namespace massf {
+
+enum class AppKind { kNone, kScaLapack, kGridNpb };
+
+const char* app_kind_name(AppKind kind);
+
+struct ScenarioOptions {
+  bool multi_as = false;
+
+  // ---- scale -------------------------------------------------------------
+  std::int32_t num_routers = 2000;  ///< total routers (paper full: 20000)
+  std::int32_t num_hosts = 1000;    ///< total hosts (paper full: 10000)
+  std::int32_t num_as = 20;         ///< multi-AS only (paper full: 100)
+
+  // ---- traffic -----------------------------------------------------------
+  std::int32_t num_clients = 400;  ///< HTTP clients (paper full: 8000)
+  std::int32_t num_servers = 100;  ///< HTTP servers (paper full: 2000)
+  HttpOptions http;
+  AppKind app = AppKind::kNone;
+  std::int32_t num_app_hosts = 16;
+  ScaLapackOptions scalapack;
+  GridNpbOptions gridnpb;
+
+  // ---- simulated cluster ---------------------------------------------------
+  std::int32_t num_engines = 16;  ///< paper full: 90
+  ClusterModel cluster;           ///< num_engine_nodes is overridden
+
+  // ---- run control ---------------------------------------------------------
+  /// 0 = sequential reference executor; > 0 = threaded executor with that
+  /// many workers (identical simulation results, different wall clock).
+  std::int32_t executor_threads = 0;
+  SimTime end_time = seconds(10);
+  SimTime profile_end_time = seconds(3);
+  /// Virtual-time bin for per-engine load traces (0 = off).
+  SimTime load_bin = 0;
+  std::uint64_t seed = 42;
+  NetSimOptions netsim;
+  MappingOptions mapping;  ///< kind/num_engines/cluster are overridden
+};
+
+/// Paper-scale option presets.
+ScenarioOptions paper_full_scale_single_as();
+ScenarioOptions paper_full_scale_multi_as();
+
+struct ExperimentResult {
+  Mapping mapping;
+  RunStats stats;
+  SimulationMetrics metrics;
+  NetSim::Counters counters;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioOptions& options);
+
+  const ScenarioOptions& options() const { return opts_; }
+  const Network& network() const { return net_; }
+  const ForwardingPlane& forwarding() const { return *fp_; }
+
+  std::span<const NodeId> client_hosts() const { return clients_; }
+  std::span<const NodeId> server_hosts() const { return servers_; }
+  std::span<const NodeId> app_hosts() const { return app_hosts_; }
+
+  /// Traffic profile from the (cached) profiling run with the naive
+  /// mapping.
+  const TrafficProfile& profile();
+
+  /// Mapping under the given approach; PROF-family mappings trigger the
+  /// profiling run on first use.
+  Mapping mapping_for(MappingKind kind);
+
+  /// Full simulation under a mapping.
+  ExperimentResult run(const Mapping& mapping);
+  ExperimentResult run(MappingKind kind) { return run(mapping_for(kind)); }
+
+  /// Conservative lookahead of a router->engine assignment: the minimum
+  /// latency over links whose endpoints land on different engines (host
+  /// links never do). Falls back to 10 ms when nothing crosses.
+  SimTime lookahead_for(std::span<const LpId> router_lp) const;
+
+ private:
+  void select_hosts();
+  void install_traffic(Engine& engine, NetSim& sim, TrafficManager& manager,
+                       bool profiling) const;
+
+  ScenarioOptions opts_;
+  Network net_;
+  std::unique_ptr<ForwardingPlane> fp_;
+  std::vector<NodeId> clients_, servers_, app_hosts_;
+  std::optional<TrafficProfile> profile_;
+};
+
+}  // namespace massf

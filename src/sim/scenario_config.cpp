@@ -1,0 +1,88 @@
+#include "sim/scenario_config.hpp"
+
+namespace massf {
+
+DmlNode scenario_options_to_dml(const ScenarioOptions& o) {
+  DmlNode root;
+  DmlNode& e = root.add_child("Experiment");
+  e.add_atom("multi_as", static_cast<std::int64_t>(o.multi_as ? 1 : 0));
+  e.add_atom("routers", static_cast<std::int64_t>(o.num_routers));
+  e.add_atom("hosts", static_cast<std::int64_t>(o.num_hosts));
+  e.add_atom("as", static_cast<std::int64_t>(o.num_as));
+  e.add_atom("clients", static_cast<std::int64_t>(o.num_clients));
+  e.add_atom("servers", static_cast<std::int64_t>(o.num_servers));
+  e.add_atom("app", std::string(app_kind_name(o.app)));
+  e.add_atom("app_hosts", static_cast<std::int64_t>(o.num_app_hosts));
+  e.add_atom("engines", static_cast<std::int64_t>(o.num_engines));
+  e.add_atom("seconds", to_seconds(o.end_time));
+  e.add_atom("profile_seconds", to_seconds(o.profile_end_time));
+  e.add_atom("think_time_s", o.http.think_time_mean_s);
+  e.add_atom("file_mean_bytes", o.http.file_mean_bytes);
+  e.add_atom("executor_threads",
+             static_cast<std::int64_t>(o.executor_threads));
+  e.add_atom("seed", static_cast<std::int64_t>(o.seed));
+  return root;
+}
+
+std::optional<MappingKind> mapping_kind_from_name(const std::string& name) {
+  for (const MappingKind k :
+       {MappingKind::kTop, MappingKind::kTop2, MappingKind::kProf,
+        MappingKind::kProf2, MappingKind::kHTop, MappingKind::kHProf,
+        MappingKind::kPlace, MappingKind::kGreedy}) {
+    if (name == mapping_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<ScenarioOptions> scenario_options_from_dml(
+    const DmlNode& root, std::string* error) {
+  const DmlNode* e = root.find("Experiment");
+  if (e == nullptr) {
+    if (error) *error = "missing top-level Experiment [ ] block";
+    return std::nullopt;
+  }
+  ScenarioOptions o;
+  o.multi_as = e->get_int("multi_as", 0) != 0;
+  o.num_routers = static_cast<std::int32_t>(
+      e->get_int("routers", o.num_routers));
+  o.num_hosts =
+      static_cast<std::int32_t>(e->get_int("hosts", o.num_hosts));
+  o.num_as = static_cast<std::int32_t>(e->get_int("as", o.num_as));
+  o.num_clients =
+      static_cast<std::int32_t>(e->get_int("clients", o.num_clients));
+  o.num_servers =
+      static_cast<std::int32_t>(e->get_int("servers", o.num_servers));
+  const std::string app = e->get_string("app", "none");
+  if (app == "scalapack" || app == "ScaLapack") {
+    o.app = AppKind::kScaLapack;
+  } else if (app == "gridnpb" || app == "GridNPB") {
+    o.app = AppKind::kGridNpb;
+  } else if (app == "none") {
+    o.app = AppKind::kNone;
+  } else {
+    if (error) *error = "unknown app '" + app + "'";
+    return std::nullopt;
+  }
+  o.num_app_hosts =
+      static_cast<std::int32_t>(e->get_int("app_hosts", o.num_app_hosts));
+  o.num_engines =
+      static_cast<std::int32_t>(e->get_int("engines", o.num_engines));
+  o.end_time = from_seconds(e->get_double("seconds", to_seconds(o.end_time)));
+  o.profile_end_time = from_seconds(
+      e->get_double("profile_seconds", to_seconds(o.profile_end_time)));
+  o.http.think_time_mean_s =
+      e->get_double("think_time_s", o.http.think_time_mean_s);
+  o.http.file_mean_bytes =
+      e->get_double("file_mean_bytes", o.http.file_mean_bytes);
+  o.executor_threads = static_cast<std::int32_t>(
+      e->get_int("executor_threads", o.executor_threads));
+  o.seed = static_cast<std::uint64_t>(e->get_int("seed", 42));
+
+  if (o.num_routers < 2 || o.num_hosts < 1 || o.num_engines < 1) {
+    if (error) *error = "routers/hosts/engines out of range";
+    return std::nullopt;
+  }
+  return o;
+}
+
+}  // namespace massf

@@ -1,0 +1,40 @@
+// Experiment configuration in DML: the whole Scenario (topology scale,
+// traffic, simulated cluster, run control) round-trips through the
+// simulator's configuration format, so experiments are reproducible from a
+// single checked-in file — the MicroGrid workflow.
+//
+// Schema:
+//   Experiment [
+//     multi_as 0          # 1 = maBrite multi-AS, 0 = flat single-AS
+//     routers 2000  hosts 1000  as 20
+//     clients 400   servers 100
+//     app scalapack       # scalapack | gridnpb | none
+//     app_hosts 16
+//     engines 24
+//     seconds 8  profile_seconds 3
+//     think_time_s 1.0
+//     seed 42
+//     mapping HPROF       # optional; used by the CLI driver
+//   ]
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dml/dml.hpp"
+#include "sim/scenario.hpp"
+
+namespace massf {
+
+/// Serializes the options (mapping kind excluded — it is per-run).
+DmlNode scenario_options_to_dml(const ScenarioOptions& options);
+
+/// Parses an Experiment block; unknown keys are ignored, missing keys keep
+/// their defaults. Returns nullopt with `error` set on malformed values.
+std::optional<ScenarioOptions> scenario_options_from_dml(
+    const DmlNode& root, std::string* error = nullptr);
+
+/// Mapping-kind name round trip ("HPROF" <-> MappingKind::kHProf, etc.).
+std::optional<MappingKind> mapping_kind_from_name(const std::string& name);
+
+}  // namespace massf

@@ -1,0 +1,286 @@
+#include "topology/mabrite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "topology/brite.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace massf {
+namespace {
+
+struct AsLevelEdge {
+  AsId a, b;
+};
+
+// Plain Barabási–Albert over `n` vertices with `m` links per new vertex.
+std::vector<AsLevelEdge> as_level_power_law(std::int32_t n, std::int32_t m,
+                                            Rng& rng) {
+  std::vector<AsLevelEdge> edges;
+  std::vector<AsId> arcs;
+  const std::int32_t seed_n = std::min(m + 1, n);
+  for (AsId i = 0; i < seed_n; ++i) {
+    for (AsId j = i + 1; j < seed_n; ++j) {
+      edges.push_back({i, j});
+      arcs.push_back(i);
+      arcs.push_back(j);
+    }
+  }
+  std::vector<AsId> chosen;
+  for (AsId i = seed_n; i < n; ++i) {
+    chosen.clear();
+    const std::int32_t want = std::min<std::int32_t>(m, i);
+    for (std::int32_t e = 0; e < want; ++e) {
+      AsId target = -1;
+      for (int attempt = 0; attempt < 64 && target < 0; ++attempt) {
+        const AsId cand = arcs[rng.uniform(arcs.size())];
+        if (cand != i &&
+            std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) {
+          target = cand;
+        }
+      }
+      if (target < 0) {
+        for (AsId cand = 0; cand < i && target < 0; ++cand) {
+          if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) {
+            target = cand;
+          }
+        }
+      }
+      MASSF_CHECK(target >= 0);
+      chosen.push_back(target);
+      edges.push_back({i, target});
+      arcs.push_back(i);
+      arcs.push_back(target);
+    }
+  }
+  return edges;
+}
+
+int class_rank(AsClass c) {
+  switch (c) {
+    case AsClass::kCore:
+      return 2;
+    case AsClass::kRegional:
+      return 1;
+    case AsClass::kStub:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Network generate_multi_as(const MaBriteOptions& opts) {
+  MASSF_CHECK(opts.num_as >= 3);
+  MASSF_CHECK(opts.routers_per_as >= 2);
+  Rng root(opts.seed);
+
+  // ---- Step 1: AS-level power-law topology. ----------------------------
+  Rng as_rng = root.fork("as-level");
+  std::vector<AsLevelEdge> as_edges =
+      as_level_power_law(opts.num_as, opts.as_links_per_node, as_rng);
+
+  std::vector<std::int32_t> degree(static_cast<std::size_t>(opts.num_as), 0);
+  for (const auto& e : as_edges) {
+    ++degree[static_cast<std::size_t>(e.a)];
+    ++degree[static_cast<std::size_t>(e.b)];
+  }
+
+  // ---- Step 2: classify ASes by connection degree. ---------------------
+  // Core: the highest-degree ASes (paper: "top 2" degrees; we take the top
+  // core_fraction with a floor of 3 so the Dense Core clique exists).
+  // Stub: degree <= 2. Regional ISP: everything else.
+  std::vector<AsId> by_degree(static_cast<std::size_t>(opts.num_as));
+  for (AsId a = 0; a < opts.num_as; ++a) by_degree[static_cast<std::size_t>(a)] = a;
+  std::sort(by_degree.begin(), by_degree.end(), [&](AsId x, AsId y) {
+    const auto dx = degree[static_cast<std::size_t>(x)];
+    const auto dy = degree[static_cast<std::size_t>(y)];
+    return dx != dy ? dx > dy : x < y;
+  });
+  const auto num_core = std::max<std::int32_t>(
+      3, static_cast<std::int32_t>(
+             std::ceil(opts.core_fraction * opts.num_as)));
+  std::vector<AsClass> cls(static_cast<std::size_t>(opts.num_as),
+                           AsClass::kStub);
+  for (std::int32_t i = 0; i < num_core && i < opts.num_as; ++i) {
+    cls[static_cast<std::size_t>(by_degree[static_cast<std::size_t>(i)])] =
+        AsClass::kCore;
+  }
+  for (AsId a = 0; a < opts.num_as; ++a) {
+    if (cls[static_cast<std::size_t>(a)] == AsClass::kCore) continue;
+    cls[static_cast<std::size_t>(a)] =
+        degree[static_cast<std::size_t>(a)] <= 2 ? AsClass::kStub
+                                                 : AsClass::kRegional;
+  }
+
+  // ---- Step 3a: Core clique (Dense Cores are almost fully meshed). ------
+  std::vector<AsId> cores;
+  for (AsId a = 0; a < opts.num_as; ++a) {
+    if (cls[static_cast<std::size_t>(a)] == AsClass::kCore) cores.push_back(a);
+  }
+  {
+    std::vector<std::vector<char>> have(
+        static_cast<std::size_t>(opts.num_as));
+    for (auto& row : have) row.assign(static_cast<std::size_t>(opts.num_as), 0);
+    for (const auto& e : as_edges) {
+      have[static_cast<std::size_t>(e.a)][static_cast<std::size_t>(e.b)] = 1;
+      have[static_cast<std::size_t>(e.b)][static_cast<std::size_t>(e.a)] = 1;
+    }
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      for (std::size_t j = i + 1; j < cores.size(); ++j) {
+        if (!have[static_cast<std::size_t>(cores[i])]
+                 [static_cast<std::size_t>(cores[j])]) {
+          as_edges.push_back({cores[i], cores[j]});
+          have[static_cast<std::size_t>(cores[i])]
+              [static_cast<std::size_t>(cores[j])] = 1;
+          have[static_cast<std::size_t>(cores[j])]
+              [static_cast<std::size_t>(cores[i])] = 1;
+        }
+      }
+    }
+  }
+
+  // ---- Step 3b: relationships per AS-level edge. ------------------------
+  // Different classes: the higher class is the provider. Same class: peers.
+  struct RelEdge {
+    AsId a, b;
+    AsRel rel_ab;  // relationship of b from a's perspective inverted below;
+                   // rel_ab = kCustomer means b is a's customer.
+  };
+  std::vector<RelEdge> rel_edges;
+  rel_edges.reserve(as_edges.size());
+  for (const auto& e : as_edges) {
+    const int ra = class_rank(cls[static_cast<std::size_t>(e.a)]);
+    const int rb = class_rank(cls[static_cast<std::size_t>(e.b)]);
+    AsRel rel;
+    if (ra == rb) {
+      rel = AsRel::kPeer;
+    } else if (ra > rb) {
+      rel = AsRel::kCustomer;  // b is a's customer
+    } else {
+      rel = AsRel::kProvider;  // b is a's provider
+    }
+    rel_edges.push_back({e.a, e.b, rel});
+  }
+
+  // ---- Step 3c: every non-Core AS needs a provider path to a Core. ------
+  // Walk "up" from each AS along provider edges; if no Core is reachable,
+  // attach the AS to a random Core as its customer.
+  {
+    Rng repair_rng = root.fork("repair");
+    // provider lists
+    std::vector<std::vector<AsId>> providers(
+        static_cast<std::size_t>(opts.num_as));
+    const auto rebuild = [&]() {
+      for (auto& p : providers) p.clear();
+      for (const auto& e : rel_edges) {
+        if (e.rel_ab == AsRel::kProvider) {
+          providers[static_cast<std::size_t>(e.a)].push_back(e.b);
+        } else if (e.rel_ab == AsRel::kCustomer) {
+          providers[static_cast<std::size_t>(e.b)].push_back(e.a);
+        }
+      }
+    };
+    rebuild();
+    for (AsId a = 0; a < opts.num_as; ++a) {
+      if (cls[static_cast<std::size_t>(a)] == AsClass::kCore) continue;
+      // BFS up the provider hierarchy.
+      std::vector<char> seen(static_cast<std::size_t>(opts.num_as), 0);
+      std::vector<AsId> stack{a};
+      seen[static_cast<std::size_t>(a)] = 1;
+      bool reaches_core = false;
+      while (!stack.empty() && !reaches_core) {
+        const AsId v = stack.back();
+        stack.pop_back();
+        for (AsId p : providers[static_cast<std::size_t>(v)]) {
+          if (cls[static_cast<std::size_t>(p)] == AsClass::kCore) {
+            reaches_core = true;
+            break;
+          }
+          if (!seen[static_cast<std::size_t>(p)]) {
+            seen[static_cast<std::size_t>(p)] = 1;
+            stack.push_back(p);
+          }
+        }
+      }
+      if (!reaches_core) {
+        const AsId core = cores[repair_rng.uniform(cores.size())];
+        rel_edges.push_back({a, core, AsRel::kProvider});
+        providers[static_cast<std::size_t>(a)].push_back(core);
+      }
+    }
+  }
+
+  // ---- Step 6a: per-AS internal router topologies. ----------------------
+  Network net;
+  net.as_info.resize(static_cast<std::size_t>(opts.num_as));
+  const double cell = opts.plane_miles / std::ceil(std::sqrt(
+                          static_cast<double>(opts.num_as)));
+  Rng place_rng = root.fork("as-placement");
+  Rng intra_rng = root.fork("intra-as");
+  for (AsId a = 0; a < opts.num_as; ++a) {
+    AsInfo& info = net.as_info[static_cast<std::size_t>(a)];
+    info.cls = cls[static_cast<std::size_t>(a)];
+    info.center_x = place_rng.uniform_real(cell / 2, opts.plane_miles - cell / 2);
+    info.center_y = place_rng.uniform_real(cell / 2, opts.plane_miles - cell / 2);
+    info.num_routers = opts.routers_per_as;
+    info.first_router = append_router_topology(
+        net, opts.routers_per_as, a, info.center_x, info.center_y, cell / 2,
+        opts.links_per_node, opts.intra_locality_miles,
+        opts.intra_bandwidth_bps, intra_rng);
+  }
+
+  // ---- Border links for every AS-level adjacency. ------------------------
+  Rng border_rng = root.fork("border");
+  for (const auto& e : rel_edges) {
+    const AsInfo& ia = net.as_info[static_cast<std::size_t>(e.a)];
+    const AsInfo& ib = net.as_info[static_cast<std::size_t>(e.b)];
+    const auto ra = static_cast<NodeId>(
+        ia.first_router +
+        static_cast<NodeId>(border_rng.uniform(
+            static_cast<std::uint64_t>(ia.num_routers))));
+    const auto rb = static_cast<NodeId>(
+        ib.first_router +
+        static_cast<NodeId>(border_rng.uniform(
+            static_cast<std::uint64_t>(ib.num_routers))));
+    NetLink l;
+    l.a = ra;
+    l.b = rb;
+    l.latency = latency_for_distance(
+        distance_miles(net.nodes[static_cast<std::size_t>(ra)].x,
+                       net.nodes[static_cast<std::size_t>(ra)].y,
+                       net.nodes[static_cast<std::size_t>(rb)].x,
+                       net.nodes[static_cast<std::size_t>(rb)].y));
+    l.bandwidth_bps = opts.inter_bandwidth_bps;
+    l.inter_as = true;
+    const auto link_id = static_cast<LinkId>(net.links.size());
+    net.links.push_back(l);
+    net.as_adjacency.push_back({e.a, e.b, e.rel_ab, link_id});
+  }
+
+  // ---- Step 6d: hosts attach to Stub ASes only. --------------------------
+  Rng host_rng = root.fork("hosts");
+  std::vector<AsId> stubs;
+  for (AsId a = 0; a < opts.num_as; ++a) {
+    if (cls[static_cast<std::size_t>(a)] == AsClass::kStub) stubs.push_back(a);
+  }
+  if (stubs.empty()) {
+    MASSF_LOG(kWarn) << "no Stub AS generated; attaching hosts everywhere";
+    for (AsId a = 0; a < opts.num_as; ++a) stubs.push_back(a);
+  }
+  for (std::int32_t h = 0; h < opts.num_hosts; ++h) {
+    const AsId a = stubs[host_rng.uniform(stubs.size())];
+    const AsInfo& info = net.as_info[static_cast<std::size_t>(a)];
+    attach_hosts(net, 1, info.first_router,
+                 info.first_router + info.num_routers,
+                 opts.access_bandwidth_bps, host_rng);
+  }
+
+  net.build_adjacency();
+  return net;
+}
+
+}  // namespace massf

@@ -1,0 +1,50 @@
+// maBrite: Internet-like multi-AS topology generation with automatic BGP
+// routing-policy configuration, implementing the 6-step procedure of the
+// paper's Section 5.1.2:
+//   1) power-law AS-level topology,
+//   2) degree-based AS classification (Core / Regional ISP / Stub),
+//   3) AS relationships (provider-customer across levels, peer-peer within
+//      a level), with Core-clique enforcement and the guarantee that every
+//      non-Core AS reaches a Core AS through provider links,
+//   4) import policies (prefer customer > peer > provider routes),
+//   5) export policies (Gao-Rexford rules),
+//   6) per-Stub-AS internal topology with OSPF inside and default routes
+//      out.
+// Steps 4-5 are encoded in the AsRel annotations on Network::as_adjacency;
+// the BGP solver in src/routing derives local preference and export filters
+// from them exactly per the rules.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+
+namespace massf {
+
+struct MaBriteOptions {
+  std::int32_t num_as = 100;
+  std::int32_t routers_per_as = 200;
+  std::int32_t num_hosts = 10000;
+  double plane_miles = 5000;
+  /// AS-level preferential-attachment edges per new AS.
+  std::int32_t as_links_per_node = 2;
+  /// Intra-AS preferential-attachment edges per new router.
+  std::int32_t links_per_node = 2;
+  double intra_locality_miles = 50;
+  double intra_bandwidth_bps = 2.5e9;
+  double inter_bandwidth_bps = 1e10;
+  double access_bandwidth_bps = 1e8;
+  /// Fraction of ASes classified Core (paper: Dense Cores are ~2% of the
+  /// Internet); at least 3 ASes regardless.
+  double core_fraction = 0.03;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the multi-AS network; as_info/as_adjacency are populated and
+/// adjacency is built. The result passes Network::validate() and the BGP
+/// relationship invariants checked by routing/bgp tests (every non-Core AS
+/// has an all-provider path to a Core; the Core set forms a clique).
+Network generate_multi_as(const MaBriteOptions& opts);
+
+}  // namespace massf

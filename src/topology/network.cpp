@@ -1,0 +1,148 @@
+#include "topology/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace massf {
+
+void Network::build_adjacency() {
+  const auto n = nodes.size();
+  adj_offset_.assign(n + 1, 0);
+  for (const NetLink& l : links) {
+    ++adj_offset_[static_cast<std::size_t>(l.a) + 1];
+    ++adj_offset_[static_cast<std::size_t>(l.b) + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) adj_offset_[i] += adj_offset_[i - 1];
+  adj_.resize(links.size() * 2);
+  std::vector<std::int32_t> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
+  for (LinkId e = 0; e < static_cast<LinkId>(links.size()); ++e) {
+    const NetLink& l = links[static_cast<std::size_t>(e)];
+    adj_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(l.a)]++)] = {e, l.b};
+    adj_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(l.b)]++)] = {e, l.a};
+  }
+}
+
+SimTime Network::min_link_latency() const {
+  SimTime best = kSimTimeMax;
+  for (const NetLink& l : links) best = std::min(best, l.latency);
+  return best;
+}
+
+Graph Network::router_graph(std::vector<std::int64_t>* latency_out,
+                            std::vector<LinkId>* link_out) const {
+  GraphBuilder builder(num_routers);
+  // add_edge merges duplicates, which would desynchronize a per-edge
+  // latency array built in input order; collect unique router pairs first,
+  // keeping the minimum latency (the partitioner cares about the worst
+  // case) and a representative link.
+  struct PairEdge {
+    NodeId u, v;
+    SimTime latency;
+    LinkId link;
+  };
+  std::vector<PairEdge> pairs;
+  pairs.reserve(links.size());
+  for (LinkId e = 0; e < static_cast<LinkId>(links.size()); ++e) {
+    const NetLink& l = links[static_cast<std::size_t>(e)];
+    if (!is_router(l.a) || !is_router(l.b)) continue;
+    NodeId u = l.a, v = l.b;
+    if (u > v) std::swap(u, v);
+    pairs.push_back({u, v, l.latency, e});
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const PairEdge& a, const PairEdge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.latency < b.latency;
+  });
+  std::vector<PairEdge> unique;
+  unique.reserve(pairs.size());
+  for (const PairEdge& p : pairs) {
+    if (!unique.empty() && unique.back().u == p.u && unique.back().v == p.v) {
+      continue;  // keep first = min latency
+    }
+    unique.push_back(p);
+  }
+  for (const PairEdge& p : unique) builder.add_edge(p.u, p.v, 1);
+  Graph g = builder.build();
+
+  // builder.build() sorts edges by (u, v), the same order as `unique`.
+  MASSF_CHECK(static_cast<std::size_t>(g.num_edges()) == unique.size());
+  if (latency_out != nullptr) {
+    latency_out->resize(unique.size());
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      (*latency_out)[i] = unique[i].latency;
+    }
+  }
+  if (link_out != nullptr) {
+    link_out->resize(unique.size());
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      (*link_out)[i] = unique[i].link;
+    }
+  }
+  return g;
+}
+
+std::string Network::validate() const {
+  const auto n = static_cast<NodeId>(nodes.size());
+  if (num_routers < 0 || num_routers > n) return "bad router count";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const NetLink& l = links[i];
+    if (l.a < 0 || l.a >= n || l.b < 0 || l.b >= n || l.a == l.b) {
+      return "link " + std::to_string(i) + " has bad endpoints";
+    }
+    if (l.latency <= 0) return "link " + std::to_string(i) + " has non-positive latency";
+    if (l.bandwidth_bps <= 0) return "link " + std::to_string(i) + " has non-positive bandwidth";
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const NetNode& node = nodes[static_cast<std::size_t>(v)];
+    if (is_router(v)) {
+      if (node.kind != NodeKind::kRouter) return "router node with host kind";
+    } else {
+      if (node.kind != NodeKind::kHost) return "host node with router kind";
+      if (node.attach_router < 0 || node.attach_router >= num_routers) {
+        return "host " + std::to_string(v) + " not attached to a router";
+      }
+    }
+  }
+  if (num_routers > 0) {
+    const Graph g = router_graph();
+    if (!is_connected(g)) return "router graph is disconnected";
+  }
+  if (!as_info.empty()) {
+    NodeId expect = 0;
+    for (std::size_t a = 0; a < as_info.size(); ++a) {
+      const AsInfo& info = as_info[a];
+      if (info.first_router != expect) return "AS router ranges not contiguous";
+      expect += info.num_routers;
+      for (NodeId r = info.first_router;
+           r < info.first_router + info.num_routers; ++r) {
+        if (nodes[static_cast<std::size_t>(r)].as_id !=
+            static_cast<AsId>(a)) {
+          return "router with inconsistent as_id";
+        }
+      }
+    }
+    if (expect != num_routers) return "AS ranges do not cover all routers";
+  }
+  return "";
+}
+
+double distance_miles(double x1, double y1, double x2, double y2) {
+  const double dx = x1 - x2, dy = y1 - y2;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+SimTime latency_for_distance(double miles) {
+  // ~2e8 m/s in fiber = 124,274 miles/s.
+  constexpr double kMilesPerSecond = 124274.0;
+  const auto t = from_seconds(miles / kMilesPerSecond);
+  return std::max<SimTime>(t, microseconds(10));
+}
+
+}  // namespace massf

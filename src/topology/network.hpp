@@ -1,0 +1,127 @@
+// The simulated network description: routers, hosts, links, and (for
+// multi-AS networks) AS membership and inter-AS relationships. This is the
+// common input to the routing, load-balance, and simulation layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/sim_time.hpp"
+
+namespace massf {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+using AsId = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : std::uint8_t { kRouter, kHost };
+
+/// Role of an AS in the Internet hierarchy (paper Section 5.1.2 step 2).
+enum class AsClass : std::uint8_t { kCore, kRegional, kStub };
+
+/// Relationship of an AS pair from the first AS's point of view.
+enum class AsRel : std::uint8_t {
+  kProvider,  ///< the other AS is our provider (we are its customer)
+  kCustomer,  ///< the other AS is our customer
+  kPeer,      ///< settlement-free peer
+};
+
+struct NetNode {
+  NodeKind kind = NodeKind::kRouter;
+  AsId as_id = 0;
+  double x = 0, y = 0;  ///< position in miles on the simulated plane
+  /// For hosts: the router they attach to; kInvalidNode for routers.
+  NodeId attach_router = kInvalidNode;
+};
+
+struct NetLink {
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  SimTime latency = 0;        ///< one-way propagation delay
+  double bandwidth_bps = 0;   ///< per-direction capacity
+  bool inter_as = false;      ///< crosses an AS boundary
+};
+
+/// One inter-AS adjacency (there may be several physical links per pair).
+struct AsAdjacency {
+  AsId as_a = 0, as_b = 0;
+  /// Relationship from as_a's point of view (kCustomer means as_b is as_a's
+  /// customer).
+  AsRel rel_ab = AsRel::kPeer;
+  LinkId link = kInvalidLink;  ///< the physical border link
+};
+
+struct AsInfo {
+  AsClass cls = AsClass::kStub;
+  NodeId first_router = 0;  ///< routers of an AS are contiguous
+  std::int32_t num_routers = 0;
+  double center_x = 0, center_y = 0;
+};
+
+class Network {
+ public:
+  std::vector<NetNode> nodes;  ///< routers first (ids [0, num_routers)), then hosts
+  std::vector<NetLink> links;
+  std::int32_t num_routers = 0;
+  std::vector<AsInfo> as_info;          ///< empty for single-AS networks built flat
+  std::vector<AsAdjacency> as_adjacency;
+
+  std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(nodes.size()) - num_routers;
+  }
+  std::int32_t num_as() const {
+    return as_info.empty() ? 1 : static_cast<std::int32_t>(as_info.size());
+  }
+  bool is_router(NodeId n) const { return n < num_routers; }
+  bool is_host(NodeId n) const { return n >= num_routers; }
+
+  /// Incident links per node: (link id, peer node). Built lazily by
+  /// build_adjacency(); the generators call it before returning.
+  struct Incidence {
+    LinkId link;
+    NodeId peer;
+  };
+  std::span<const Incidence> incident(NodeId n) const {
+    return {adj_.data() + adj_offset_[static_cast<std::size_t>(n)],
+            static_cast<std::size_t>(
+                adj_offset_[static_cast<std::size_t>(n) + 1] -
+                adj_offset_[static_cast<std::size_t>(n)])};
+  }
+
+  void build_adjacency();
+
+  /// Minimum link latency over all links (the theoretical best MLL).
+  SimTime min_link_latency() const;
+
+  /// The router-level graph used by the load balancer: one vertex per
+  /// router, one edge per router-router link. Vertex weights default to 1
+  /// (the mapping approaches overwrite them); edge weights default to 1.
+  /// `latency_out`, if non-null, receives per-edge link latency (ns) aligned
+  /// with the returned graph's edge ids, and `link_out` the originating
+  /// NetLink id.
+  Graph router_graph(std::vector<std::int64_t>* latency_out = nullptr,
+                     std::vector<LinkId>* link_out = nullptr) const;
+
+  /// Sanity checks: endpoint validity, connectivity of the router graph,
+  /// hosts attached, AS ranges consistent. Returns an empty string when
+  /// valid, else a description of the first problem found.
+  std::string validate() const;
+
+ private:
+  std::vector<std::int32_t> adj_offset_;
+  std::vector<Incidence> adj_;
+};
+
+/// Geometry helpers shared by the generators.
+double distance_miles(double x1, double y1, double x2, double y2);
+
+/// Propagation delay for a span of `miles` at ~2/3 the speed of light in
+/// fiber, floored at 10 microseconds (equipment latency).
+SimTime latency_for_distance(double miles);
+
+}  // namespace massf

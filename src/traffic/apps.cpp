@@ -1,0 +1,155 @@
+#include "traffic/apps.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+DataflowGraph make_scalapack(std::span<const NodeId> hosts,
+                             const ScaLapackOptions& opts) {
+  MASSF_CHECK(hosts.size() >= 4);
+  // Most square grid r x c with r*c <= hosts.size().
+  auto r = static_cast<std::int32_t>(std::sqrt(
+      static_cast<double>(hosts.size())));
+  const std::int32_t c = static_cast<std::int32_t>(hosts.size()) / r;
+  const std::int32_t np = r * c;
+
+  DataflowGraph g;
+  g.name = "ScaLapack";
+  g.tasks.reserve(static_cast<std::size_t>(np));
+  for (std::int32_t i = 0; i < np; ++i) {
+    DataflowTask t;
+    t.host = hosts[static_cast<std::size_t>(i)];
+    t.compute = opts.compute;
+    t.initial = true;  // all processes start iterating immediately
+    g.tasks.push_back(t);
+  }
+  // Row and column exchanges: (i,j) sends a block to every process in its
+  // row and its column each iteration (panel broadcast + trailing update).
+  const auto id = [&](std::int32_t i, std::int32_t j) { return i * c + j; };
+  for (std::int32_t i = 0; i < r; ++i) {
+    for (std::int32_t j = 0; j < c; ++j) {
+      for (std::int32_t jj = 0; jj < c; ++jj) {
+        if (jj != j) {
+          g.edges.push_back({id(i, j), id(i, jj), opts.block_bytes});
+        }
+      }
+      for (std::int32_t ii = 0; ii < r; ++ii) {
+        if (ii != i) {
+          g.edges.push_back({id(i, j), id(ii, j), opts.block_bytes});
+        }
+      }
+    }
+  }
+  return g;
+}
+
+DataflowGraph make_gridnpb_hc(std::span<const NodeId> hosts,
+                              const GridNpbOptions& opts) {
+  MASSF_CHECK(hosts.size() >= 2);
+  DataflowGraph g;
+  g.name = "GridNPB-HC";
+  const auto n = static_cast<std::int32_t>(hosts.size());
+  for (std::int32_t i = 0; i < n; ++i) {
+    DataflowTask t;
+    t.host = hosts[static_cast<std::size_t>(i)];
+    t.compute = opts.compute;
+    t.initial = i == 0;
+    g.tasks.push_back(t);
+  }
+  for (std::int32_t i = 0; i < n; ++i) {
+    g.edges.push_back({i, (i + 1) % n, opts.data_bytes});
+  }
+  return g;
+}
+
+DataflowGraph make_gridnpb_vp(std::span<const NodeId> hosts,
+                              const GridNpbOptions& opts) {
+  MASSF_CHECK(hosts.size() >= 3);
+  DataflowGraph g;
+  g.name = "GridNPB-VP";
+  const auto n = static_cast<std::int32_t>(hosts.size());
+  const std::int32_t per_stage = n / 3;
+  // Stage s task k lives at host s*per_stage + k.
+  const auto id = [&](std::int32_t s, std::int32_t k) {
+    return s * per_stage + k;
+  };
+  for (std::int32_t i = 0; i < 3 * per_stage; ++i) {
+    DataflowTask t;
+    t.host = hosts[static_cast<std::size_t>(i)];
+    t.compute = opts.compute;
+    t.initial = i < per_stage;  // the generator stage
+    g.tasks.push_back(t);
+  }
+  for (std::int32_t s = 0; s < 2; ++s) {
+    for (std::int32_t k = 0; k < per_stage; ++k) {
+      g.edges.push_back({id(s, k), id(s + 1, k), opts.data_bytes});
+      if (per_stage > 1) {
+        g.edges.push_back(
+            {id(s, k), id(s + 1, (k + 1) % per_stage), opts.data_bytes / 2});
+      }
+    }
+  }
+  // Feedback from the render stage to the generator stage closes the cycle.
+  for (std::int32_t k = 0; k < per_stage; ++k) {
+    g.edges.push_back({id(2, k), id(0, k), opts.data_bytes / 4});
+  }
+  return g;
+}
+
+DataflowGraph make_gridnpb_mb(std::span<const NodeId> hosts,
+                              const GridNpbOptions& opts) {
+  MASSF_CHECK(hosts.size() >= 2);
+  DataflowGraph g;
+  g.name = "GridNPB-MB";
+  const auto n = static_cast<std::int32_t>(hosts.size());
+  const std::int32_t collector = n - 1;
+  for (std::int32_t i = 0; i < n; ++i) {
+    DataflowTask t;
+    t.host = hosts[static_cast<std::size_t>(i)];
+    // Heterogeneous compute: "mixed bag" of task sizes.
+    t.compute = opts.compute * (1 + i % 3);
+    t.initial = i != collector;
+    g.tasks.push_back(t);
+  }
+  for (std::int32_t i = 0; i < collector; ++i) {
+    // Varied transfer sizes, workers feed the collector and get fresh
+    // assignments back.
+    const std::uint32_t bytes = opts.data_bytes / (1 + i % 4);
+    g.edges.push_back({i, collector, bytes});
+    g.edges.push_back({collector, i, opts.data_bytes / 8});
+  }
+  return g;
+}
+
+DataflowGraph merge_graphs(std::span<const DataflowGraph> graphs) {
+  DataflowGraph merged;
+  for (const DataflowGraph& g : graphs) {
+    if (!merged.name.empty()) merged.name += "+";
+    merged.name += g.name;
+    const auto offset = static_cast<std::int32_t>(merged.tasks.size());
+    merged.tasks.insert(merged.tasks.end(), g.tasks.begin(), g.tasks.end());
+    for (DataflowEdge e : g.edges) {
+      e.src_task += offset;
+      e.dst_task += offset;
+      merged.edges.push_back(e);
+    }
+  }
+  return merged;
+}
+
+std::vector<DataflowGraph> make_gridnpb_mix(std::span<const NodeId> hosts,
+                                            const GridNpbOptions& opts) {
+  MASSF_CHECK(hosts.size() >= 9);
+  const std::size_t third = hosts.size() / 3;
+  std::vector<DataflowGraph> graphs;
+  graphs.push_back(make_gridnpb_hc(hosts.subspan(0, third), opts));
+  graphs.push_back(make_gridnpb_vp(hosts.subspan(third, third), opts));
+  graphs.push_back(
+      make_gridnpb_mb(hosts.subspan(2 * third, hosts.size() - 2 * third),
+                      opts));
+  return graphs;
+}
+
+}  // namespace massf

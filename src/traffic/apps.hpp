@@ -1,0 +1,62 @@
+// Concrete dataflow shapes for the paper's foreground applications.
+//
+// ScaLapack: processes in an r x c grid; every iteration each process
+// exchanges panel/update blocks with its row and column peers — a
+// communication-heavy BSP pattern (the paper notes ScaLapack benefits most
+// from better mappings because of its communication volume).
+//
+// GridNPB 3.0 (class S, as in the paper): workflow compositions of NPB
+// tasks exchanging initialization data —
+//   HC (Helical Chain): tasks in a single cycle, one transfer per step;
+//   VP (Visualization Pipeline): staged pipeline with fan-out between
+//      stages;
+//   MB (Mixed Bag): heterogeneous independent branches joining at a
+//      collector.
+// All are lighter on communication than ScaLapack.
+#pragma once
+
+#include <span>
+
+#include "traffic/dataflow.hpp"
+
+namespace massf {
+
+struct ScaLapackOptions {
+  std::uint32_t block_bytes = 200 * 1024;  ///< panel/update block size
+  SimTime compute = milliseconds(50);      ///< per-iteration local work
+};
+
+/// Builds the ScaLapack pattern over `hosts` arranged in the most square
+/// grid that fits (requires >= 4 hosts).
+DataflowGraph make_scalapack(std::span<const NodeId> hosts,
+                             const ScaLapackOptions& opts);
+
+struct GridNpbOptions {
+  std::uint32_t data_bytes = 100 * 1024;  ///< inter-task transfer size
+  SimTime compute = milliseconds(200);    ///< per-task computation (class S)
+};
+
+/// Helical Chain over all hosts.
+DataflowGraph make_gridnpb_hc(std::span<const NodeId> hosts,
+                              const GridNpbOptions& opts);
+
+/// Visualization Pipeline: 3 stages; hosts are split evenly across stages
+/// (requires >= 3 hosts).
+DataflowGraph make_gridnpb_vp(std::span<const NodeId> hosts,
+                              const GridNpbOptions& opts);
+
+/// Mixed Bag: independent worker branches with varied sizes feeding a
+/// collector on the last host (requires >= 2 hosts).
+DataflowGraph make_gridnpb_mb(std::span<const NodeId> hosts,
+                              const GridNpbOptions& opts);
+
+/// The paper's GridNPB workload: the combination of HC, VP and MB running
+/// concurrently, each over a third of `hosts` (requires >= 9 hosts).
+std::vector<DataflowGraph> make_gridnpb_mix(std::span<const NodeId> hosts,
+                                            const GridNpbOptions& opts);
+
+/// Disjoint union of several dataflow graphs, so a combination of
+/// applications runs as one TrafficComponent.
+DataflowGraph merge_graphs(std::span<const DataflowGraph> graphs);
+
+}  // namespace massf

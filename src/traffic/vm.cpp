@@ -1,0 +1,97 @@
+#include "traffic/vm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace massf {
+
+VmHosts::VmHosts(std::span<const NodeId> hosts, double ops_per_second)
+    : capacity_(ops_per_second) {
+  MASSF_CHECK(ops_per_second > 0);
+  for (const NodeId h : hosts) {
+    hosts_.emplace(h, HostState{});
+  }
+}
+
+VmHosts::HostState& VmHosts::state(NodeId host) {
+  auto it = hosts_.find(host);
+  MASSF_CHECK(it != hosts_.end() && "host not registered with VmHosts");
+  return it->second;
+}
+
+std::size_t VmHosts::load(NodeId host) const {
+  auto it = hosts_.find(host);
+  MASSF_CHECK(it != hosts_.end());
+  return it->second.tasks.size();
+}
+
+void VmHosts::advance(HostState& hs, SimTime now) {
+  if (hs.tasks.empty() || now <= hs.last_update) {
+    hs.last_update = std::max(hs.last_update, now);
+    return;
+  }
+  const double elapsed = to_seconds(now - hs.last_update);
+  const double per_task =
+      elapsed * capacity_ / static_cast<double>(hs.tasks.size());
+  for (Task& t : hs.tasks) {
+    t.remaining_ops = std::max(0.0, t.remaining_ops - per_task);
+  }
+  hs.last_update = now;
+}
+
+void VmHosts::settle(Engine& engine, NetSim& sim, NodeId host,
+                     HostState& hs) {
+  // Collect every task whose work has reached zero (floating-point work
+  // accounting: treat anything below half an op as done).
+  constexpr double kDoneEps = 0.5;
+  std::vector<std::uint64_t> done;
+  for (std::size_t i = 0; i < hs.tasks.size();) {
+    if (hs.tasks[i].remaining_ops <= kDoneEps) {
+      done.push_back(hs.tasks[i].cookie);
+      hs.tasks.erase(hs.tasks.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // Invalidate any outstanding timer and, if work remains, arm a timer for
+  // the earliest possible completion under the current sharing level.
+  ++hs.timer_epoch;
+  if (!hs.tasks.empty()) {
+    double min_ops = hs.tasks[0].remaining_ops;
+    for (const Task& t : hs.tasks) {
+      min_ops = std::min(min_ops, t.remaining_ops);
+    }
+    const double rate = capacity_ / static_cast<double>(hs.tasks.size());
+    const SimTime eta = std::max<SimTime>(1, from_seconds(min_ops / rate));
+    sim.schedule_app_timer(engine, host, engine.now() + eta,
+                           make_timer(TrafficKind::kVm, hs.timer_epoch));
+  }
+
+  // Callbacks run last: they may submit() again (re-entrantly), which
+  // re-settles with a fresh epoch and supersedes the timer armed above.
+  for (const std::uint64_t cookie : done) {
+    if (on_done_) on_done_(engine, sim, host, cookie);
+  }
+}
+
+void VmHosts::submit(Engine& engine, NetSim& sim, NodeId host, double ops,
+                     std::uint64_t cookie) {
+  MASSF_CHECK(ops > 0);
+  HostState& hs = state(host);
+  advance(hs, engine.now());
+  hs.tasks.push_back(Task{ops, cookie});
+  settle(engine, sim, host, hs);
+}
+
+void VmHosts::on_timer(Engine& engine, NetSim& sim, NodeId host,
+                       std::uint64_t payload, std::uint64_t) {
+  HostState& hs = state(host);
+  if (payload != hs.timer_epoch) return;  // stale timer
+  advance(hs, engine.now());
+  settle(engine, sim, host, hs);
+}
+
+}  // namespace massf

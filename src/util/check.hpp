@@ -1,0 +1,34 @@
+// Lightweight runtime assertion macros used throughout the library.
+//
+// MASSF_CHECK is always on (it guards invariants whose violation would make
+// simulation results silently wrong); MASSF_DCHECK compiles out in NDEBUG
+// builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace massf::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "MASSF_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace massf::detail
+
+#define MASSF_CHECK(expr)                                      \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::massf::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define MASSF_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define MASSF_DCHECK(expr) MASSF_CHECK(expr)
+#endif

@@ -1,0 +1,34 @@
+// Tiny command-line flag parser for the example and bench binaries.
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace massf {
+
+class Flags {
+ public:
+  /// Parses argv; aborts with a usage message on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& default_value) const;
+  std::int64_t get_int(const std::string& name,
+                       std::int64_t default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// True when the environment asks for paper-scale experiments
+/// (MASSF_FULL=1); benches default to reduced shape-preserving scales.
+bool full_scale_requested();
+
+}  // namespace massf

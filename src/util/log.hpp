@@ -1,0 +1,45 @@
+// Minimal leveled logger. Experiment harnesses print their figures to
+// stdout; diagnostics go to stderr through this logger so the two never mix.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace massf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Defaults to kInfo and
+/// can be set from MASSF_LOG env (debug|info|warn|error).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace massf
+
+#define MASSF_LOG(level)                                     \
+  if (::massf::LogLevel::level < ::massf::log_level()) {     \
+  } else                                                     \
+    ::massf::detail::LogLine(::massf::LogLevel::level)

@@ -1,0 +1,41 @@
+// Fixed-point simulation time.
+//
+// All simulation timestamps are integral nanosecond ticks. Floating point
+// time is a classic source of non-determinism in PDES engines (event order
+// can depend on accumulated rounding); integral ticks make event ordering
+// exact and the sequential executor bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace massf {
+
+/// Simulation time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimTime nanoseconds(std::int64_t v) { return v; }
+inline constexpr SimTime microseconds(std::int64_t v) { return v * 1'000; }
+inline constexpr SimTime milliseconds(std::int64_t v) { return v * 1'000'000; }
+inline constexpr SimTime seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Converts a duration in (fractional) seconds to ticks, rounding to nearest.
+inline constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+inline constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) * 1e-9;
+}
+
+inline constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+inline constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-3;
+}
+
+}  // namespace massf

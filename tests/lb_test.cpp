@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lb/graph_prep.hpp"
+#include "lb/hierarchical.hpp"
+#include "lb/mapping.hpp"
+#include "lb/profile.hpp"
+#include "partition/partition.hpp"
+#include "topology/brite.hpp"
+
+namespace massf {
+namespace {
+
+Network test_network(std::int32_t routers = 400, std::uint64_t seed = 21) {
+  BriteOptions o;
+  o.num_routers = routers;
+  o.num_hosts = routers / 4;
+  o.seed = seed;
+  return generate_flat(o);
+}
+
+MappingOptions base_opts(std::int32_t engines = 8) {
+  MappingOptions o;
+  o.num_engines = engines;
+  o.cluster.num_engine_nodes = engines;
+  o.seed = 3;
+  return o;
+}
+
+TEST(MappingKindHelpers, NamesAndPredicates) {
+  EXPECT_STREQ(mapping_kind_name(MappingKind::kHProf), "HPROF");
+  EXPECT_STREQ(mapping_kind_name(MappingKind::kTop2), "TOP2");
+  EXPECT_TRUE(mapping_uses_profile(MappingKind::kProf));
+  EXPECT_TRUE(mapping_uses_profile(MappingKind::kHProf));
+  EXPECT_FALSE(mapping_uses_profile(MappingKind::kHTop));
+  EXPECT_TRUE(mapping_is_hierarchical(MappingKind::kHTop));
+  EXPECT_FALSE(mapping_is_hierarchical(MappingKind::kProf2));
+}
+
+TEST(GraphPrep, TopWeightsAreIncidentBandwidth) {
+  const Network net = test_network(100);
+  const auto w = top_vertex_weights(net);
+  ASSERT_EQ(static_cast<NodeId>(w.size()), net.num_routers);
+  // Recompute for one router by hand.
+  const NodeId r = 0;
+  Weight expect = 0;
+  for (const auto& inc : net.incident(r)) {
+    expect += static_cast<Weight>(
+        net.links[static_cast<std::size_t>(inc.link)].bandwidth_bps / 1e6);
+  }
+  EXPECT_EQ(w[0], std::max<Weight>(expect, 1));
+}
+
+TEST(GraphPrep, ProfWeightsFromProfile) {
+  const Network net = test_network(100);
+  TrafficProfile p;
+  p.router_events.assign(static_cast<std::size_t>(net.num_routers), 0);
+  p.router_events[7] = 999;
+  const auto w = prof_vertex_weights(net, p);
+  EXPECT_EQ(w[7], 1000);  // +1 floor
+  EXPECT_EQ(w[8], 1);
+}
+
+TEST(GraphPrep, PlainEdgeWeightInverseLatency) {
+  EXPECT_EQ(edge_weight_plain(milliseconds(1)), 1000);
+  EXPECT_EQ(edge_weight_plain(microseconds(10)), 100000);
+  EXPECT_GT(edge_weight_plain(microseconds(50)),
+            edge_weight_plain(milliseconds(5)));
+  // Clamped at 1 for huge latencies.
+  EXPECT_EQ(edge_weight_plain(seconds(100)), 1);
+}
+
+TEST(GraphPrep, TunedWeightsAmplifySmallLatencies) {
+  const std::vector<std::int64_t> lats{microseconds(10), milliseconds(1),
+                                       milliseconds(10)};
+  const auto plain0 = edge_weight_plain(lats[0]);
+  const auto plain1 = edge_weight_plain(lats[1]);
+  const auto tuned = edge_weights_tuned(lats, 2.0);
+  // The tuned ratio between the 10us and 1ms edges must exceed the plain
+  // ratio (that is the entire point of the TOP2/PROF2 adjustment).
+  const double plain_ratio =
+      static_cast<double>(plain0) / static_cast<double>(plain1);
+  const double tuned_ratio =
+      static_cast<double>(tuned[0]) / static_cast<double>(tuned[1]);
+  EXPECT_GT(tuned_ratio, 2 * plain_ratio);
+}
+
+TEST(GraphPrep, PrepareGraphAlignsLatencies) {
+  const Network net = test_network(200);
+  MappingOptions opts = base_opts();
+  std::vector<std::int64_t> lats;
+  const Graph g =
+      prepare_graph(net, MappingKind::kTop, nullptr, opts, &lats);
+  ASSERT_EQ(static_cast<EdgeId>(lats.size()), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.edge_weight(e),
+              edge_weight_plain(lats[static_cast<std::size_t>(e)]));
+  }
+}
+
+TEST(Profile, FoldChargesHostsToAttachRouter) {
+  const Network net = test_network(50);
+  std::vector<std::uint64_t> events(net.nodes.size(), 0);
+  const NodeId host = net.num_routers;  // first host
+  const NodeId attach =
+      net.nodes[static_cast<std::size_t>(host)].attach_router;
+  events[static_cast<std::size_t>(host)] = 10;
+  events[static_cast<std::size_t>(attach)] = 5;
+  const TrafficProfile p = fold_profile(net, events);
+  EXPECT_EQ(p.router_events[static_cast<std::size_t>(attach)], 15u);
+}
+
+TEST(Profile, NaiveMappingContiguousAndComplete) {
+  const Network net = test_network(100);
+  const auto m = naive_mapping(net, 7);
+  ASSERT_EQ(static_cast<NodeId>(m.size()), net.num_routers);
+  std::set<LpId> used(m.begin(), m.end());
+  EXPECT_EQ(used.size(), 7u);
+  // Contiguous blocks: non-decreasing.
+  EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+}
+
+TEST(Score, EsEcComposition) {
+  const std::vector<Weight> balanced{10, 10, 10};
+  const PartitionScore s =
+      score_partition(milliseconds(2), milliseconds(1), balanced);
+  EXPECT_NEAR(s.es, 0.5, 1e-12);
+  EXPECT_NEAR(s.ec, 1.0, 1e-12);
+  EXPECT_NEAR(s.e, 0.5, 1e-12);
+}
+
+TEST(Score, NegativeEsClampsToZeroE) {
+  const std::vector<Weight> loads{10, 10};
+  const PartitionScore s =
+      score_partition(microseconds(100), milliseconds(1), loads);
+  EXPECT_LT(s.es, 0);
+  EXPECT_DOUBLE_EQ(s.e, 0);
+}
+
+TEST(Score, ImbalanceLowersEc) {
+  const std::vector<Weight> skewed{30, 10, 10};
+  const PartitionScore s =
+      score_partition(milliseconds(2), milliseconds(1), skewed);
+  EXPECT_NEAR(s.ec, (50.0 / 3) / 30.0, 1e-9);
+}
+
+class MappingSweep : public ::testing::TestWithParam<MappingKind> {};
+
+TEST_P(MappingSweep, ProducesValidMapping) {
+  const MappingKind kind = GetParam();
+  const Network net = test_network(300);
+  MappingOptions opts = base_opts(6);
+  opts.kind = kind;
+
+  TrafficProfile profile;
+  profile.router_events.assign(static_cast<std::size_t>(net.num_routers), 1);
+  for (std::size_t i = 0; i < profile.router_events.size(); i += 3) {
+    profile.router_events[i] = 100;  // synthetic hot spots
+  }
+  const TrafficProfile* p =
+      mapping_uses_profile(kind) ? &profile : nullptr;
+  const Mapping m = compute_mapping(net, opts, p);
+
+  ASSERT_EQ(static_cast<NodeId>(m.router_lp.size()), net.num_routers);
+  std::set<LpId> used(m.router_lp.begin(), m.router_lp.end());
+  EXPECT_EQ(used.size(), 6u) << "some engine got no routers";
+  for (LpId lp : m.router_lp) {
+    EXPECT_GE(lp, 0);
+    EXPECT_LT(lp, 6);
+  }
+  EXPECT_GT(m.achieved_mll, 0);
+  EXPECT_EQ(m.kind, kind);
+
+  // achieved_mll is really the min cross-partition latency.
+  SimTime mll = kSimTimeMax;
+  for (const NetLink& l : net.links) {
+    if (!net.is_router(l.a) || !net.is_router(l.b)) continue;
+    if (m.router_lp[static_cast<std::size_t>(l.a)] !=
+        m.router_lp[static_cast<std::size_t>(l.b)]) {
+      mll = std::min(mll, l.latency);
+    }
+  }
+  EXPECT_EQ(m.achieved_mll, mll);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MappingSweep,
+                         ::testing::Values(MappingKind::kTop,
+                                           MappingKind::kTop2,
+                                           MappingKind::kProf,
+                                           MappingKind::kProf2,
+                                           MappingKind::kHTop,
+                                           MappingKind::kHProf,
+                                           MappingKind::kGreedy),
+                         [](const auto& info) {
+                           return mapping_kind_name(info.param);
+                         });
+
+TEST(GraphPrep, PlaceBoostsAttachmentRouters) {
+  const Network net = test_network(100);
+  const NodeId host = net.num_routers;
+  const NodeId attach =
+      net.nodes[static_cast<std::size_t>(host)].attach_router;
+  const auto base = top_vertex_weights(net);
+  const std::vector<NodeId> placement{host, host};  // duplicates allowed
+  const auto w = place_vertex_weights(net, placement);
+  // Two boosts of the 100 Mbps access link = +200.
+  EXPECT_EQ(w[static_cast<std::size_t>(attach)],
+            base[static_cast<std::size_t>(attach)] + 200 * 20);
+  // Other routers untouched.
+  for (NodeId r = 0; r < net.num_routers; ++r) {
+    if (r != attach) {
+      EXPECT_EQ(w[static_cast<std::size_t>(r)],
+                base[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+TEST(Mapping, PlaceProducesValidMapping) {
+  const Network net = test_network(300);
+  MappingOptions opts = base_opts(6);
+  opts.kind = MappingKind::kPlace;
+  std::vector<NodeId> placement;
+  for (NodeId h = net.num_routers;
+       h < static_cast<NodeId>(net.nodes.size()); h += 2) {
+    placement.push_back(h);
+  }
+  const Mapping m = compute_mapping(net, opts, nullptr, placement);
+  std::set<LpId> used(m.router_lp.begin(), m.router_lp.end());
+  EXPECT_EQ(used.size(), 6u);
+  EXPECT_STREQ(mapping_kind_name(m.kind), "PLACE");
+}
+
+TEST(Hierarchical, AchievedMllAtLeastTmll) {
+  const Network net = test_network(500);
+  MappingOptions opts = base_opts(8);
+  opts.kind = MappingKind::kHTop;
+  const Mapping m = compute_mapping(net, opts, nullptr);
+  EXPECT_GT(m.tmll, 0);
+  EXPECT_GE(m.achieved_mll, m.tmll)
+      << "contraction must guarantee the worst-case MLL";
+  // And the threshold itself exceeds the synchronization cost.
+  EXPECT_GT(m.tmll, opts.cluster.sync_cost_time(8));
+}
+
+TEST(Hierarchical, BeatsFlatOnEfficiencyScore) {
+  const Network net = test_network(500);
+  MappingOptions opts = base_opts(8);
+
+  opts.kind = MappingKind::kTop;
+  const Mapping flat = compute_mapping(net, opts, nullptr);
+  opts.kind = MappingKind::kHTop;
+  const Mapping hier = compute_mapping(net, opts, nullptr);
+
+  const SimTime sync = opts.cluster.sync_cost_time(8);
+  // Es of the hierarchical mapping must be positive by construction; the
+  // flat mapping typically cuts a short link.
+  EXPECT_GT(hier.achieved_mll, sync);
+  EXPECT_GE(hier.predicted_efficiency, flat.predicted_efficiency);
+}
+
+TEST(Hierarchical, SweepExploresThresholds) {
+  const Network net = test_network(500);
+  std::vector<std::int64_t> lats;
+  MappingOptions opts = base_opts(8);
+  Graph g = prepare_graph(net, MappingKind::kTop, nullptr, opts, &lats);
+  const auto r = hierarchical_partition(g, lats, opts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->candidates_tried, 1);
+  EXPECT_GT(r->score.e, 0);
+}
+
+TEST(Hierarchical, FallsBackWhenTooFewClusters) {
+  // A 4-vertex graph cannot produce 8 clusters above any threshold once
+  // contraction merges everything; expect nullopt and flat fallback in
+  // compute_mapping.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  Graph g = b.build();
+  const std::vector<std::int64_t> lats{microseconds(20), microseconds(20),
+                                       microseconds(20)};
+  MappingOptions opts = base_opts(8);
+  const auto r = hierarchical_partition(g, lats, opts);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(Mapping, DeterministicForSeed) {
+  const Network net = test_network(300);
+  MappingOptions opts = base_opts(5);
+  opts.kind = MappingKind::kHTop;
+  const Mapping a = compute_mapping(net, opts, nullptr);
+  const Mapping b = compute_mapping(net, opts, nullptr);
+  EXPECT_EQ(a.router_lp, b.router_lp);
+  EXPECT_EQ(a.tmll, b.tmll);
+}
+
+TEST(Mapping, SingleEngine) {
+  const Network net = test_network(100);
+  MappingOptions opts = base_opts(1);
+  opts.kind = MappingKind::kTop;
+  const Mapping m = compute_mapping(net, opts, nullptr);
+  for (LpId lp : m.router_lp) EXPECT_EQ(lp, 0);
+  EXPECT_EQ(m.edge_cut, 0);
+}
+
+}  // namespace
+}  // namespace massf

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "net/netsim.hpp"
+#include "online/agent.hpp"
+#include "online/vsocket.hpp"
+#include "routing/forwarding.hpp"
+#include "topology/brite.hpp"
+#include "traffic/manager.hpp"
+
+namespace massf {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const AgentOptions& ao = AgentOptions{},
+                   SimTime end = seconds(30)) {
+    BriteOptions o;
+    o.num_routers = 30;
+    o.num_hosts = 6;
+    o.seed = 41;
+    net = generate_flat(o);
+    std::vector<NodeId> dests;
+    for (NodeId h = net.num_routers;
+         h < static_cast<NodeId>(net.nodes.size()); ++h) {
+      hosts.push_back(h);
+      dests.push_back(net.nodes[static_cast<std::size_t>(h)].attach_router);
+    }
+    fp = std::make_unique<ForwardingPlane>(
+        ForwardingPlane::build_flat(net, dests));
+    EngineOptions eo;
+    eo.lookahead = microseconds(200);
+    eo.end_time = end;
+    engine = std::make_unique<Engine>(eo);
+    const std::vector<LpId> map(static_cast<std::size_t>(net.num_routers), 0);
+    sim = std::make_unique<NetSim>(net, *fp, map, *engine, NetSimOptions{});
+    manager = std::make_unique<TrafficManager>(*sim);
+    auto agent_ptr = std::make_unique<Agent>(ao);
+    agent = agent_ptr.get();
+    manager->add(TrafficKind::kOnline, std::move(agent_ptr));
+    agent->attach(*engine);
+    manager->start(*engine, *sim);
+    // Keep the engine alive even with no scripted traffic: a heartbeat
+    // timer chain (the online layer needs windows to keep opening).
+    sim->set_app_timer([](Engine& e, NetSim& s, NodeId host, std::uint64_t b,
+                          std::uint64_t c) {
+      if (b == make_timer(TrafficKind::kNone, 1)) {
+        s.schedule_app_timer(e, host, e.now() + milliseconds(10), b, c);
+      }
+    });
+    sim->schedule_app_timer(*engine, hosts[0], milliseconds(1),
+                            make_timer(TrafficKind::kNone, 1));
+  }
+
+  Network net;
+  std::unique_ptr<ForwardingPlane> fp;
+  std::vector<NodeId> hosts;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<NetSim> sim;
+  std::unique_ptr<TrafficManager> manager;
+  Agent* agent = nullptr;
+};
+
+TEST(Agent, PreQueuedSendDelivered) {
+  Fixture f;
+  Agent::SendRequest req;
+  req.src_host = f.hosts[0];
+  req.dst_host = f.hosts[1];
+  req.bytes = 50000;
+  req.cookie = 99;
+  f.agent->submit(req);
+  f.engine->run();
+  const auto d = f.agent->poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->cookie, 99u);
+  EXPECT_EQ(d->src_host, f.hosts[0]);
+  EXPECT_EQ(d->dst_host, f.hosts[1]);
+  EXPECT_GT(d->virtual_time, 0);
+}
+
+TEST(Agent, LiveInjectionFromAnotherThread) {
+  Fixture f(AgentOptions{}, seconds(120));
+  std::thread app([&] {
+    // Wait until the engine has advanced, then inject live.
+    while (f.agent->virtual_now() < milliseconds(50)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    Agent::SendRequest req;
+    req.src_host = f.hosts[2];
+    req.dst_host = f.hosts[3];
+    req.bytes = 20000;
+    req.cookie = 7;
+    f.agent->submit(req);
+    // Wait for the delivery, then stop the engine.
+    for (;;) {
+      if (auto d = f.agent->poll()) {
+        EXPECT_EQ(d->cookie, 7u);
+        EXPECT_GT(d->virtual_time, milliseconds(50));
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    f.engine->request_stop();
+  });
+  f.engine->run();
+  app.join();
+}
+
+TEST(Agent, MultipleSendsAllComplete) {
+  Fixture f;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Agent::SendRequest req;
+    req.src_host = f.hosts[i % 3];
+    req.dst_host = f.hosts[3 + i % 2];
+    req.bytes = 10000 + i * 1000;
+    req.cookie = i;
+    f.agent->submit(req);
+  }
+  f.engine->run();
+  std::set<std::uint32_t> cookies;
+  while (auto d = f.agent->poll()) cookies.insert(d->cookie);
+  EXPECT_EQ(cookies.size(), 5u);
+}
+
+TEST(VSocket, SendReceiveRoundTrip) {
+  Fixture f(AgentOptions{}, seconds(120));
+  VSocket sender(*f.agent, f.hosts[0]);
+  VSocket receiver(*f.agent, f.hosts[1]);
+
+  std::thread app([&] {
+    const std::uint32_t cookie = sender.send(f.hosts[1], 30000);
+    const auto d = receiver.receive(/*wall_timeout_s=*/20.0);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->cookie, cookie);
+    EXPECT_EQ(d->dst_host, f.hosts[1]);
+    f.engine->request_stop();
+  });
+  f.engine->run();
+  app.join();
+}
+
+TEST(Agent, SlowdownPacesVirtualTime) {
+  // With slowdown 2 and ~100 ms of virtual time, the run must take at
+  // least ~0.2 s of wall clock.
+  AgentOptions ao;
+  ao.slowdown = 2.0;
+  Fixture f(ao, milliseconds(100));
+  const auto start = std::chrono::steady_clock::now();
+  f.engine->run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(wall, 0.15);
+}
+
+}  // namespace
+}  // namespace massf

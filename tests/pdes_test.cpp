@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pdes/engine.hpp"
+
+namespace massf {
+namespace {
+
+// Records the events it handles; optionally re-schedules follow-ups.
+class RecordingLp final : public LogicalProcess {
+ public:
+  struct Record {
+    SimTime time;
+    std::int32_t type;
+    std::uint64_t a;
+  };
+
+  void handle(Engine& engine, const Event& ev) override {
+    records.push_back({ev.time, ev.type, ev.a});
+    if (relay_to >= 0 && ev.type == 1) {
+      // Forward across LPs with the channel latency.
+      engine.schedule(relay_to, ev.time + channel_latency, 2, ev.a + 1);
+    }
+    if (self_chain > 0 && ev.type == 3) {
+      --self_chain;
+      engine.schedule(engine.current_lp(), ev.time + local_delay, 3, ev.a);
+    }
+  }
+
+  std::vector<Record> records;
+  LpId relay_to = -1;
+  SimTime channel_latency = milliseconds(1);
+  int self_chain = 0;
+  SimTime local_delay = microseconds(50);
+};
+
+EngineOptions base_options() {
+  EngineOptions o;
+  o.lookahead = milliseconds(1);
+  o.cost_per_event_s = 1e-6;
+  o.sync_cost_s = 1e-4;
+  o.end_time = seconds(1);
+  return o;
+}
+
+TEST(Engine, ProcessesInTimestampOrder) {
+  Engine engine(base_options());
+  auto lp = std::make_unique<RecordingLp>();
+  RecordingLp* p = lp.get();
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(5), 7);
+  engine.schedule(0, milliseconds(2), 7);
+  engine.schedule(0, milliseconds(9), 7);
+  engine.schedule(0, milliseconds(2), 7);  // tie: insertion order
+  engine.run();
+  ASSERT_EQ(p->records.size(), 4u);
+  EXPECT_EQ(p->records[0].time, milliseconds(2));
+  EXPECT_EQ(p->records[1].time, milliseconds(2));
+  EXPECT_EQ(p->records[2].time, milliseconds(5));
+  EXPECT_EQ(p->records[3].time, milliseconds(9));
+}
+
+TEST(Engine, EndTimeExcludesLaterEvents) {
+  EngineOptions o = base_options();
+  o.end_time = milliseconds(10);
+  Engine engine(o);
+  auto lp = std::make_unique<RecordingLp>();
+  RecordingLp* p = lp.get();
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(5), 1);
+  engine.schedule(0, milliseconds(10), 1);  // exactly at horizon: excluded
+  engine.schedule(0, milliseconds(20), 1);
+  const RunStats stats = engine.run();
+  EXPECT_EQ(p->records.size(), 1u);
+  EXPECT_EQ(stats.total_events, 1u);
+  EXPECT_EQ(stats.end_vtime, milliseconds(10));
+}
+
+TEST(Engine, CrossLpEventsDelivered) {
+  Engine engine(base_options());
+  auto lp0 = std::make_unique<RecordingLp>();
+  auto lp1 = std::make_unique<RecordingLp>();
+  RecordingLp* p0 = lp0.get();
+  RecordingLp* p1 = lp1.get();
+  p0->relay_to = 1;
+  engine.add_lp(std::move(lp0));
+  engine.add_lp(std::move(lp1));
+  engine.schedule(0, milliseconds(1), 1, 100);
+  engine.run();
+  ASSERT_EQ(p1->records.size(), 1u);
+  EXPECT_EQ(p1->records[0].time, milliseconds(2));
+  EXPECT_EQ(p1->records[0].a, 101u);
+  EXPECT_EQ(p0->records.size(), 1u);
+}
+
+TEST(Engine, SelfChainWithinWindow) {
+  Engine engine(base_options());
+  auto lp = std::make_unique<RecordingLp>();
+  RecordingLp* p = lp.get();
+  p->self_chain = 10;
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(1), 3);
+  const RunStats stats = engine.run();
+  EXPECT_EQ(p->records.size(), 11u);
+  // 10 x 50us chain fits in one 1 ms window plus the initial one.
+  EXPECT_LE(stats.num_windows, 2u);
+}
+
+TEST(Engine, StatsAccounting) {
+  EngineOptions o = base_options();
+  o.cost_per_event_s = 2e-6;
+  o.sync_cost_s = 5e-4;
+  Engine engine(o);
+  engine.add_lp(std::make_unique<RecordingLp>());
+  engine.add_lp(std::make_unique<RecordingLp>());
+  // 3 events on LP0, 1 on LP1, all in one window.
+  engine.schedule(0, milliseconds(1), 7);
+  engine.schedule(0, milliseconds(1), 7);
+  engine.schedule(0, milliseconds(1), 7);
+  engine.schedule(1, milliseconds(1), 7);
+  const RunStats stats = engine.run();
+  EXPECT_EQ(stats.total_events, 4u);
+  EXPECT_EQ(stats.events_per_lp[0], 3u);
+  EXPECT_EQ(stats.events_per_lp[1], 1u);
+  EXPECT_EQ(stats.num_windows, 1u);
+  // Window wall = max(3 * 2us, 1 * 2us) + 0.5ms.
+  EXPECT_NEAR(stats.modeled_wall_s, 3 * 2e-6 + 5e-4, 1e-12);
+  EXPECT_NEAR(stats.modeled_sync_s, 5e-4, 1e-12);
+  EXPECT_NEAR(stats.busy_s[0], 6e-6, 1e-12);
+}
+
+TEST(Engine, EventRates) {
+  RunStats stats;
+  stats.events_per_lp = {100, 50};
+  stats.modeled_wall_s = 2.0;
+  const auto rates = stats.event_rates();
+  EXPECT_DOUBLE_EQ(rates[0], 50);
+  EXPECT_DOUBLE_EQ(rates[1], 25);
+}
+
+TEST(Engine, LoadBinsRecorded) {
+  EngineOptions o = base_options();
+  o.load_bin = milliseconds(100);
+  Engine engine(o);
+  auto lp = std::make_unique<RecordingLp>();
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(50), 7);
+  engine.schedule(0, milliseconds(250), 7);
+  const RunStats stats = engine.run();
+  ASSERT_EQ(stats.lp_load.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.lp_load[0].bin(0), 1);
+  EXPECT_DOUBLE_EQ(stats.lp_load[0].bin(2), 1);
+}
+
+TEST(Engine, BarrierHookInjectsLiveEvents) {
+  Engine engine(base_options());
+  auto lp = std::make_unique<RecordingLp>();
+  RecordingLp* p = lp.get();
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(1), 7);
+  bool injected = false;
+  engine.set_barrier_hook([&](Engine& eng, SimTime window_start) {
+    if (!injected) {
+      injected = true;
+      eng.schedule(0, window_start + eng.options().lookahead, 9, 42);
+    }
+  });
+  engine.run();
+  ASSERT_EQ(p->records.size(), 2u);
+  EXPECT_EQ(p->records[1].type, 9);
+}
+
+TEST(Engine, MultipleBarrierHooksRunInOrder) {
+  Engine engine(base_options());
+  auto lp = std::make_unique<RecordingLp>();
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(1), 7);
+  std::vector<int> order;
+  engine.add_barrier_hook([&](Engine&, SimTime) { order.push_back(1); });
+  engine.add_barrier_hook([&](Engine&, SimTime) { order.push_back(2); });
+  engine.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Engine, RequestStopEndsRun) {
+  Engine engine(base_options());
+  auto lp = std::make_unique<RecordingLp>();
+  RecordingLp* p = lp.get();
+  p->self_chain = 1000000;
+  p->local_delay = milliseconds(2);  // one event per window
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(1), 3);
+  int windows = 0;
+  engine.set_barrier_hook([&](Engine& eng, SimTime) {
+    if (++windows == 5) eng.request_stop();
+  });
+  engine.run();
+  EXPECT_LT(p->records.size(), 10u);
+}
+
+TEST(Engine, LargerLookaheadFewerWindowsSameEvents) {
+  // The core MLL-parallelism relationship: widening the window cannot
+  // change what is simulated, only how often the engine synchronizes.
+  const auto run_with = [](SimTime lookahead) {
+    EngineOptions o;
+    o.lookahead = lookahead;
+    o.end_time = seconds(10);
+    Engine engine(o);
+    auto lp = std::make_unique<RecordingLp>();
+    lp->self_chain = 2000;
+    lp->local_delay = milliseconds(1);
+    engine.add_lp(std::move(lp));
+    engine.schedule(0, milliseconds(1), 3);
+    const RunStats stats = engine.run();
+    return std::make_pair(stats.total_events, stats.num_windows);
+  };
+  const auto narrow = run_with(milliseconds(1));
+  const auto wide = run_with(milliseconds(8));
+  EXPECT_EQ(narrow.first, wide.first);
+  EXPECT_GT(narrow.second, 3 * wide.second);
+}
+
+TEST(Engine, SyncCostScalesWithWindows) {
+  const auto sync_of = [](SimTime lookahead) {
+    EngineOptions o;
+    o.lookahead = lookahead;
+    o.sync_cost_s = 1e-4;
+    o.end_time = seconds(5);
+    Engine engine(o);
+    auto lp = std::make_unique<RecordingLp>();
+    lp->self_chain = 1000;
+    lp->local_delay = milliseconds(1);
+    engine.add_lp(std::move(lp));
+    engine.schedule(0, milliseconds(1), 3);
+    return engine.run().modeled_sync_s;
+  };
+  EXPECT_GT(sync_of(milliseconds(1)), 2 * sync_of(milliseconds(8)));
+}
+
+TEST(EngineDeath, CrossLpViolationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        Engine engine(base_options());
+        auto lp = std::make_unique<RecordingLp>();
+        lp->relay_to = 1;
+        lp->channel_latency = microseconds(10);  // < lookahead: illegal
+        engine.add_lp(std::move(lp));
+        engine.add_lp(std::make_unique<RecordingLp>());
+        engine.schedule(0, milliseconds(1), 1);
+        engine.run();
+      },
+      "MASSF_CHECK");
+}
+
+// ---- threaded executor -------------------------------------------------
+
+struct PingPongLp final : public LogicalProcess {
+  void handle(Engine& engine, const Event& ev) override {
+    ++count;
+    checksum = checksum * 31 + static_cast<std::uint64_t>(ev.time);
+    if (ev.a > 0) {
+      engine.schedule(peer, ev.time + milliseconds(1), 1, ev.a - 1);
+    }
+  }
+  LpId peer = 0;
+  std::uint64_t count = 0;
+  std::uint64_t checksum = 0;
+};
+
+TEST(ThreadedEngine, MatchesSequentialResults) {
+  const auto build_and_run = [](bool threaded) {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = seconds(2);
+    o.cost_per_event_s = 1e-6;
+    o.sync_cost_s = 1e-5;
+    Engine engine(o);
+    std::vector<PingPongLp*> lps;
+    for (int i = 0; i < 4; ++i) {
+      auto lp = std::make_unique<PingPongLp>();
+      lps.push_back(lp.get());
+      engine.add_lp(std::move(lp));
+    }
+    for (int i = 0; i < 4; ++i) lps[static_cast<std::size_t>(i)]->peer = (i + 1) % 4;
+    engine.schedule(0, milliseconds(1), 1, 500);
+    engine.schedule(2, milliseconds(1), 1, 300);
+    const RunStats stats = threaded ? engine.run_threaded(3) : engine.run();
+    std::vector<std::uint64_t> sums;
+    for (auto* lp : lps) {
+      sums.push_back(lp->count);
+      sums.push_back(lp->checksum);
+    }
+    sums.push_back(stats.total_events);
+    sums.push_back(stats.num_windows);
+    return sums;
+  };
+  EXPECT_EQ(build_and_run(false), build_and_run(true));
+}
+
+TEST(ThreadedEngine, SingleThreadDegenerate) {
+  EngineOptions o = base_options();
+  Engine engine(o);
+  auto lp = std::make_unique<RecordingLp>();
+  RecordingLp* p = lp.get();
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(1), 7);
+  const RunStats stats = engine.run_threaded(1);
+  EXPECT_EQ(stats.total_events, 1u);
+  EXPECT_EQ(p->records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace massf

@@ -1,0 +1,166 @@
+// Transport validation: quantitative checks of the packet-level models
+// against transport theory — the kind of accuracy validation the paper
+// performed for MaSSF against real testbeds. Uses the flow-record
+// (NetFlow-style) collection.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/netsim.hpp"
+#include "routing/forwarding.hpp"
+
+namespace massf {
+namespace {
+
+// h(N) - r0 --bottleneck-- r1 - h(N+1..): a classic dumbbell.
+Network dumbbell(int hosts_per_side, double bottleneck_bps,
+                 SimTime bottleneck_latency) {
+  Network net;
+  for (int i = 0; i < 2; ++i) {
+    NetNode r;
+    r.kind = NodeKind::kRouter;
+    net.nodes.push_back(r);
+  }
+  net.num_routers = 2;
+  const auto link = [&](NodeId a, NodeId b, SimTime lat, double bw) {
+    NetLink l;
+    l.a = a;
+    l.b = b;
+    l.latency = lat;
+    l.bandwidth_bps = bw;
+    net.links.push_back(l);
+  };
+  link(0, 1, bottleneck_latency, bottleneck_bps);
+  for (int side = 0; side < 2; ++side) {
+    for (int i = 0; i < hosts_per_side; ++i) {
+      NetNode h;
+      h.kind = NodeKind::kHost;
+      h.attach_router = side;
+      const auto hid = static_cast<NodeId>(net.nodes.size());
+      net.nodes.push_back(h);
+      link(side, hid, microseconds(10), 1e9);  // fat access links
+    }
+  }
+  net.build_adjacency();
+  return net;
+}
+
+struct Rig {
+  Rig(int hosts_per_side, double bottleneck_bps, SimTime bottleneck_latency,
+      SimTime end, double queue_bytes = 256 * 1024)
+      : net(dumbbell(hosts_per_side, bottleneck_bps, bottleneck_latency)),
+        fp(ForwardingPlane::build_flat(net, std::vector<NodeId>{0, 1})) {
+    EngineOptions eo;
+    eo.lookahead = std::min<SimTime>(bottleneck_latency, milliseconds(1));
+    eo.end_time = end;
+    engine = std::make_unique<Engine>(eo);
+    NetSimOptions no;
+    no.collect_flow_records = true;
+    no.queue_capacity_bytes = queue_bytes;
+    sim = std::make_unique<NetSim>(
+        net, fp, std::vector<LpId>{0, 0}, *engine, no);
+  }
+  NodeId left(int i) const { return net.num_routers + i; }
+  NodeId right(int i) const {
+    return net.num_routers + (static_cast<NodeId>(net.num_hosts()) / 2) + i;
+  }
+  Network net;
+  ForwardingPlane fp;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<NetSim> sim;
+};
+
+TEST(Validation, SoloFlowSaturatesBottleneck) {
+  Rig rig(2, 1e7, milliseconds(2), seconds(120));
+  rig.sim->start_flow(*rig.engine, milliseconds(1), rig.left(0),
+                      rig.right(0), 10'000'000, 1);
+  rig.engine->run();
+  const auto records = rig.sim->flow_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].failed);
+  // Goodput within [70%, 100%] of the 10 Mbps bottleneck (headers +
+  // slow start eat the rest).
+  EXPECT_GT(records[0].goodput_bps(), 0.70e7);
+  EXPECT_LT(records[0].goodput_bps(), 1.0e7);
+}
+
+TEST(Validation, TwoFlowsShareBottleneckFairly) {
+  Rig rig(2, 1e7, milliseconds(2), seconds(240));
+  rig.sim->start_flow(*rig.engine, milliseconds(1), rig.left(0),
+                      rig.right(0), 6'000'000, 1);
+  rig.sim->start_flow(*rig.engine, milliseconds(1), rig.left(1),
+                      rig.right(1), 6'000'000, 2);
+  rig.engine->run();
+  const auto records = rig.sim->flow_records();
+  ASSERT_EQ(records.size(), 2u);
+  // Reno flows with equal RTT should split the pipe roughly evenly: the
+  // slower flow gets at least ~55% of the faster one's goodput.
+  const double g0 = records[0].goodput_bps();
+  const double g1 = records[1].goodput_bps();
+  const double ratio = std::min(g0, g1) / std::max(g0, g1);
+  EXPECT_GT(ratio, 0.55) << "g0=" << g0 << " g1=" << g1;
+  // Combined goodput still bounded by the bottleneck.
+  // (They only overlap for part of their lifetimes, so the sum of
+  // individual goodputs may legitimately exceed capacity; check each.)
+  EXPECT_LT(g0, 1.0e7);
+  EXPECT_LT(g1, 1.0e7);
+}
+
+TEST(Validation, LongerRttSlowsSlowStart) {
+  // Same transfer over 1 ms vs 20 ms bottleneck RTT: the long-RTT flow
+  // must take longer despite identical bandwidth (window ramp-up is
+  // RTT-clocked).
+  const auto run_with = [](SimTime lat) {
+    Rig rig(1, 1e8, lat, seconds(120));
+    rig.sim->start_flow(*rig.engine, milliseconds(1), rig.left(0),
+                        rig.right(0), 1'000'000, 1);
+    rig.engine->run();
+    const auto records = rig.sim->flow_records();
+    EXPECT_EQ(records.size(), 1u);
+    return records.empty() ? 0.0 : records[0].duration_s();
+  };
+  const double fast = run_with(milliseconds(1));
+  const double slow = run_with(milliseconds(20));
+  EXPECT_GT(slow, 2 * fast);
+}
+
+TEST(Validation, CongestionCausesLossesButAllComplete) {
+  // Six flows into a 5 Mbps bottleneck with a small buffer: drop-tail
+  // losses are inevitable, Reno recovers, everyone finishes.
+  Rig rig(6, 5e6, milliseconds(5), seconds(600), /*queue_bytes=*/16 * 1024);
+  for (int i = 0; i < 6; ++i) {
+    rig.sim->start_flow(*rig.engine, milliseconds(1 + i), rig.left(i),
+                        rig.right(i), 1'000'000,
+                        static_cast<std::uint32_t>(i));
+  }
+  rig.engine->run();
+  const auto records = rig.sim->flow_records();
+  ASSERT_EQ(records.size(), 6u);
+  std::uint32_t retransmits = 0;
+  for (const auto& r : records) {
+    EXPECT_FALSE(r.failed);
+    retransmits += r.retransmits;
+  }
+  EXPECT_GT(rig.sim->totals().dropped_queue, 0u);
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(Validation, FlowRecordsAccounting) {
+  Rig rig(1, 1e8, milliseconds(1), seconds(60));
+  rig.sim->start_flow(*rig.engine, milliseconds(5), rig.left(0),
+                      rig.right(0), 40'000, 77);
+  rig.engine->run();
+  const auto records = rig.sim->flow_records();
+  ASSERT_EQ(records.size(), 1u);
+  const FlowRecord& r = records[0];
+  EXPECT_EQ(r.bytes, 40'000u);
+  EXPECT_EQ(r.tag, 77u);
+  EXPECT_EQ(r.started_at, milliseconds(5));
+  EXPECT_GT(r.finished_at, r.started_at);
+  EXPECT_EQ(r.retransmits, 0u);
+  EXPECT_EQ(r.src, rig.left(0));
+  EXPECT_EQ(r.dst, rig.right(0));
+}
+
+}  // namespace
+}  // namespace massf
