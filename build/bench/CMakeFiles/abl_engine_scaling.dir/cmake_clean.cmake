@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_engine_scaling.dir/abl_engine_scaling.cpp.o"
+  "CMakeFiles/abl_engine_scaling.dir/abl_engine_scaling.cpp.o.d"
+  "abl_engine_scaling"
+  "abl_engine_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_engine_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tmll_sweep.dir/abl_tmll_sweep.cpp.o"
+  "CMakeFiles/abl_tmll_sweep.dir/abl_tmll_sweep.cpp.o.d"
+  "abl_tmll_sweep"
+  "abl_tmll_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tmll_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tuned_exponent.dir/abl_tuned_exponent.cpp.o"
+  "CMakeFiles/abl_tuned_exponent.dir/abl_tuned_exponent.cpp.o.d"
+  "abl_tuned_exponent"
+  "abl_tuned_exponent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tuned_exponent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

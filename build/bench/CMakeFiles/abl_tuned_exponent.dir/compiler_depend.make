@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_tuned_exponent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_load_variation.dir/fig03_load_variation.cpp.o"
+  "CMakeFiles/fig03_load_variation.dir/fig03_load_variation.cpp.o.d"
+  "fig03_load_variation"
+  "fig03_load_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_load_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

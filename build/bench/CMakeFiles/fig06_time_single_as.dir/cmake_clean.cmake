@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_time_single_as.dir/fig06_time_single_as.cpp.o"
+  "CMakeFiles/fig06_time_single_as.dir/fig06_time_single_as.cpp.o.d"
+  "fig06_time_single_as"
+  "fig06_time_single_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_time_single_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

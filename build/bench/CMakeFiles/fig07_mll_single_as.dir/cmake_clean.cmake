@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mll_single_as.dir/fig07_mll_single_as.cpp.o"
+  "CMakeFiles/fig07_mll_single_as.dir/fig07_mll_single_as.cpp.o.d"
+  "fig07_mll_single_as"
+  "fig07_mll_single_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mll_single_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

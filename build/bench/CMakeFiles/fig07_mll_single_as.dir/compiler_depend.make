@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_mll_single_as.
+# This may be replaced when dependencies are built.

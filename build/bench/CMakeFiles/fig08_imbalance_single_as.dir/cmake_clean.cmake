@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_imbalance_single_as.dir/fig08_imbalance_single_as.cpp.o"
+  "CMakeFiles/fig08_imbalance_single_as.dir/fig08_imbalance_single_as.cpp.o.d"
+  "fig08_imbalance_single_as"
+  "fig08_imbalance_single_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_imbalance_single_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

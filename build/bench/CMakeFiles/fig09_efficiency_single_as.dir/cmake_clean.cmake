@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_efficiency_single_as.dir/fig09_efficiency_single_as.cpp.o"
+  "CMakeFiles/fig09_efficiency_single_as.dir/fig09_efficiency_single_as.cpp.o.d"
+  "fig09_efficiency_single_as"
+  "fig09_efficiency_single_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_efficiency_single_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

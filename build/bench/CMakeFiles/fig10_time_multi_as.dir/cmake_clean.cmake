@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_time_multi_as.dir/fig10_time_multi_as.cpp.o"
+  "CMakeFiles/fig10_time_multi_as.dir/fig10_time_multi_as.cpp.o.d"
+  "fig10_time_multi_as"
+  "fig10_time_multi_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_time_multi_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mll_multi_as.dir/fig11_mll_multi_as.cpp.o"
+  "CMakeFiles/fig11_mll_multi_as.dir/fig11_mll_multi_as.cpp.o.d"
+  "fig11_mll_multi_as"
+  "fig11_mll_multi_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mll_multi_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

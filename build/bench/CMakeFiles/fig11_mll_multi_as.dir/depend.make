@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_mll_multi_as.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_imbalance_multi_as.dir/fig12_imbalance_multi_as.cpp.o"
+  "CMakeFiles/fig12_imbalance_multi_as.dir/fig12_imbalance_multi_as.cpp.o.d"
+  "fig12_imbalance_multi_as"
+  "fig12_imbalance_multi_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_imbalance_multi_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_efficiency_multi_as.dir/fig13_efficiency_multi_as.cpp.o"
+  "CMakeFiles/fig13_efficiency_multi_as.dir/fig13_efficiency_multi_as.cpp.o.d"
+  "fig13_efficiency_multi_as"
+  "fig13_efficiency_multi_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_efficiency_multi_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

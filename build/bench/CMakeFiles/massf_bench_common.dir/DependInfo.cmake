@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/massf_bench_common.dir/common.cpp.o" "gcc" "bench/CMakeFiles/massf_bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/massf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/massf_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/massf_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/massf_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/massf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/massf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/massf_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/dml/CMakeFiles/massf_dml.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

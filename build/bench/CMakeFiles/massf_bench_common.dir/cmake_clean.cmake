@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_bench_common.dir/common.cpp.o"
+  "CMakeFiles/massf_bench_common.dir/common.cpp.o.d"
+  "libmassf_bench_common.a"
+  "libmassf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmassf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pdes.dir/micro_pdes.cpp.o"
+  "CMakeFiles/micro_pdes.dir/micro_pdes.cpp.o.d"
+  "micro_pdes"
+  "micro_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

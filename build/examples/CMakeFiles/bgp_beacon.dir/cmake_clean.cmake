@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_beacon.dir/bgp_beacon.cpp.o"
+  "CMakeFiles/bgp_beacon.dir/bgp_beacon.cpp.o.d"
+  "bgp_beacon"
+  "bgp_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_partition_demo.dir/hierarchical_partition_demo.cpp.o"
+  "CMakeFiles/hierarchical_partition_demo.dir/hierarchical_partition_demo.cpp.o.d"
+  "hierarchical_partition_demo"
+  "hierarchical_partition_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_partition_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

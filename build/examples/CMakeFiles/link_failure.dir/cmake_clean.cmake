@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_failure.dir/link_failure.cpp.o"
+  "CMakeFiles/link_failure.dir/link_failure.cpp.o.d"
+  "link_failure"
+  "link_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_cli.dir/massf_cli.cpp.o"
+  "CMakeFiles/massf_cli.dir/massf_cli.cpp.o.d"
+  "massf_cli"
+  "massf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_as_bgp.dir/multi_as_bgp.cpp.o"
+  "CMakeFiles/multi_as_bgp.dir/multi_as_bgp.cpp.o.d"
+  "multi_as_bgp"
+  "multi_as_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_as_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_app.dir/online_app.cpp.o"
+  "CMakeFiles/online_app.dir/online_app.cpp.o.d"
+  "online_app"
+  "online_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

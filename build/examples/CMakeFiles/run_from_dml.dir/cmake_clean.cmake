@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_from_dml.dir/run_from_dml.cpp.o"
+  "CMakeFiles/run_from_dml.dir/run_from_dml.cpp.o.d"
+  "run_from_dml"
+  "run_from_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_from_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

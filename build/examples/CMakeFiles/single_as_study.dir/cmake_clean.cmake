@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_as_study.dir/single_as_study.cpp.o"
+  "CMakeFiles/single_as_study.dir/single_as_study.cpp.o.d"
+  "single_as_study"
+  "single_as_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_as_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

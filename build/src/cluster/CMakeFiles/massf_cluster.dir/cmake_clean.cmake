@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/massf_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/massf_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/massf_cluster.dir/metrics.cpp.o.d"
+  "libmassf_cluster.a"
+  "libmassf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dml/dml.cpp" "src/dml/CMakeFiles/massf_dml.dir/dml.cpp.o" "gcc" "src/dml/CMakeFiles/massf_dml.dir/dml.cpp.o.d"
+  "/root/repo/src/dml/network_dml.cpp" "src/dml/CMakeFiles/massf_dml.dir/network_dml.cpp.o" "gcc" "src/dml/CMakeFiles/massf_dml.dir/network_dml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

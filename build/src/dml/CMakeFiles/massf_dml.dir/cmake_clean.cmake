@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_dml.dir/dml.cpp.o"
+  "CMakeFiles/massf_dml.dir/dml.cpp.o.d"
+  "CMakeFiles/massf_dml.dir/network_dml.cpp.o"
+  "CMakeFiles/massf_dml.dir/network_dml.cpp.o.d"
+  "libmassf_dml.a"
+  "libmassf_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

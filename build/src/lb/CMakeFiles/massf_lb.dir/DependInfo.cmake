@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/graph_prep.cpp" "src/lb/CMakeFiles/massf_lb.dir/graph_prep.cpp.o" "gcc" "src/lb/CMakeFiles/massf_lb.dir/graph_prep.cpp.o.d"
+  "/root/repo/src/lb/hierarchical.cpp" "src/lb/CMakeFiles/massf_lb.dir/hierarchical.cpp.o" "gcc" "src/lb/CMakeFiles/massf_lb.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/lb/mapping.cpp" "src/lb/CMakeFiles/massf_lb.dir/mapping.cpp.o" "gcc" "src/lb/CMakeFiles/massf_lb.dir/mapping.cpp.o.d"
+  "/root/repo/src/lb/profile.cpp" "src/lb/CMakeFiles/massf_lb.dir/profile.cpp.o" "gcc" "src/lb/CMakeFiles/massf_lb.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/massf_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/massf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/massf_pdes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_lb.dir/graph_prep.cpp.o"
+  "CMakeFiles/massf_lb.dir/graph_prep.cpp.o.d"
+  "CMakeFiles/massf_lb.dir/hierarchical.cpp.o"
+  "CMakeFiles/massf_lb.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/massf_lb.dir/mapping.cpp.o"
+  "CMakeFiles/massf_lb.dir/mapping.cpp.o.d"
+  "CMakeFiles/massf_lb.dir/profile.cpp.o"
+  "CMakeFiles/massf_lb.dir/profile.cpp.o.d"
+  "libmassf_lb.a"
+  "libmassf_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

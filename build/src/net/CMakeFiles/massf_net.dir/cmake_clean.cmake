@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_net.dir/netsim.cpp.o"
+  "CMakeFiles/massf_net.dir/netsim.cpp.o.d"
+  "CMakeFiles/massf_net.dir/tcp.cpp.o"
+  "CMakeFiles/massf_net.dir/tcp.cpp.o.d"
+  "libmassf_net.a"
+  "libmassf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/online/agent.cpp" "src/online/CMakeFiles/massf_online.dir/agent.cpp.o" "gcc" "src/online/CMakeFiles/massf_online.dir/agent.cpp.o.d"
+  "/root/repo/src/online/vsocket.cpp" "src/online/CMakeFiles/massf_online.dir/vsocket.cpp.o" "gcc" "src/online/CMakeFiles/massf_online.dir/vsocket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/massf_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/massf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/massf_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

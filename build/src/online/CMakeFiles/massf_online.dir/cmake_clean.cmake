@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_online.dir/agent.cpp.o"
+  "CMakeFiles/massf_online.dir/agent.cpp.o.d"
+  "CMakeFiles/massf_online.dir/vsocket.cpp.o"
+  "CMakeFiles/massf_online.dir/vsocket.cpp.o.d"
+  "libmassf_online.a"
+  "libmassf_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bisect.cpp" "src/partition/CMakeFiles/massf_partition.dir/bisect.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/bisect.cpp.o.d"
+  "/root/repo/src/partition/fm.cpp" "src/partition/CMakeFiles/massf_partition.dir/fm.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/fm.cpp.o.d"
+  "/root/repo/src/partition/greedy_kcluster.cpp" "src/partition/CMakeFiles/massf_partition.dir/greedy_kcluster.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/greedy_kcluster.cpp.o.d"
+  "/root/repo/src/partition/kway.cpp" "src/partition/CMakeFiles/massf_partition.dir/kway.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/kway.cpp.o.d"
+  "/root/repo/src/partition/matching.cpp" "src/partition/CMakeFiles/massf_partition.dir/matching.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/matching.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/massf_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/massf_partition.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_partition.dir/bisect.cpp.o"
+  "CMakeFiles/massf_partition.dir/bisect.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/fm.cpp.o"
+  "CMakeFiles/massf_partition.dir/fm.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/greedy_kcluster.cpp.o"
+  "CMakeFiles/massf_partition.dir/greedy_kcluster.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/kway.cpp.o"
+  "CMakeFiles/massf_partition.dir/kway.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/matching.cpp.o"
+  "CMakeFiles/massf_partition.dir/matching.cpp.o.d"
+  "CMakeFiles/massf_partition.dir/partition.cpp.o"
+  "CMakeFiles/massf_partition.dir/partition.cpp.o.d"
+  "libmassf_partition.a"
+  "libmassf_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_pdes.dir/engine.cpp.o"
+  "CMakeFiles/massf_pdes.dir/engine.cpp.o.d"
+  "CMakeFiles/massf_pdes.dir/threaded.cpp.o"
+  "CMakeFiles/massf_pdes.dir/threaded.cpp.o.d"
+  "libmassf_pdes.a"
+  "libmassf_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

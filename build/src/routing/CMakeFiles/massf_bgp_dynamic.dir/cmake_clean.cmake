@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_bgp_dynamic.dir/bgp_dynamic.cpp.o"
+  "CMakeFiles/massf_bgp_dynamic.dir/bgp_dynamic.cpp.o.d"
+  "libmassf_bgp_dynamic.a"
+  "libmassf_bgp_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_bgp_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmassf_bgp_dynamic.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_routing.dir/bgp.cpp.o"
+  "CMakeFiles/massf_routing.dir/bgp.cpp.o.d"
+  "CMakeFiles/massf_routing.dir/forwarding.cpp.o"
+  "CMakeFiles/massf_routing.dir/forwarding.cpp.o.d"
+  "CMakeFiles/massf_routing.dir/ospf.cpp.o"
+  "CMakeFiles/massf_routing.dir/ospf.cpp.o.d"
+  "libmassf_routing.a"
+  "libmassf_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

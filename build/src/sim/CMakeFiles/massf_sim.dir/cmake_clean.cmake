@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_sim.dir/failover.cpp.o"
+  "CMakeFiles/massf_sim.dir/failover.cpp.o.d"
+  "CMakeFiles/massf_sim.dir/report.cpp.o"
+  "CMakeFiles/massf_sim.dir/report.cpp.o.d"
+  "CMakeFiles/massf_sim.dir/scenario.cpp.o"
+  "CMakeFiles/massf_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/massf_sim.dir/scenario_config.cpp.o"
+  "CMakeFiles/massf_sim.dir/scenario_config.cpp.o.d"
+  "libmassf_sim.a"
+  "libmassf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

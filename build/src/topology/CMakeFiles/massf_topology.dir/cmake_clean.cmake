@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_topology.dir/brite.cpp.o"
+  "CMakeFiles/massf_topology.dir/brite.cpp.o.d"
+  "CMakeFiles/massf_topology.dir/mabrite.cpp.o"
+  "CMakeFiles/massf_topology.dir/mabrite.cpp.o.d"
+  "CMakeFiles/massf_topology.dir/network.cpp.o"
+  "CMakeFiles/massf_topology.dir/network.cpp.o.d"
+  "libmassf_topology.a"
+  "libmassf_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

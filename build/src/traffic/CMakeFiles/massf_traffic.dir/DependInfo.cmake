@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/apps.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/apps.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/apps.cpp.o.d"
+  "/root/repo/src/traffic/cbr.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/cbr.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/cbr.cpp.o.d"
+  "/root/repo/src/traffic/dataflow.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/dataflow.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/dataflow.cpp.o.d"
+  "/root/repo/src/traffic/http.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/http.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/http.cpp.o.d"
+  "/root/repo/src/traffic/manager.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/manager.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/manager.cpp.o.d"
+  "/root/repo/src/traffic/ping.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/ping.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/ping.cpp.o.d"
+  "/root/repo/src/traffic/vm.cpp" "src/traffic/CMakeFiles/massf_traffic.dir/vm.cpp.o" "gcc" "src/traffic/CMakeFiles/massf_traffic.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/massf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/massf_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

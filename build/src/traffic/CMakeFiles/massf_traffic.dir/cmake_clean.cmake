@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_traffic.dir/apps.cpp.o"
+  "CMakeFiles/massf_traffic.dir/apps.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/cbr.cpp.o"
+  "CMakeFiles/massf_traffic.dir/cbr.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/dataflow.cpp.o"
+  "CMakeFiles/massf_traffic.dir/dataflow.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/http.cpp.o"
+  "CMakeFiles/massf_traffic.dir/http.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/manager.cpp.o"
+  "CMakeFiles/massf_traffic.dir/manager.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/ping.cpp.o"
+  "CMakeFiles/massf_traffic.dir/ping.cpp.o.d"
+  "CMakeFiles/massf_traffic.dir/vm.cpp.o"
+  "CMakeFiles/massf_traffic.dir/vm.cpp.o.d"
+  "libmassf_traffic.a"
+  "libmassf_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_util.dir/flags.cpp.o"
+  "CMakeFiles/massf_util.dir/flags.cpp.o.d"
+  "CMakeFiles/massf_util.dir/log.cpp.o"
+  "CMakeFiles/massf_util.dir/log.cpp.o.d"
+  "CMakeFiles/massf_util.dir/rng.cpp.o"
+  "CMakeFiles/massf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/massf_util.dir/stats.cpp.o"
+  "CMakeFiles/massf_util.dir/stats.cpp.o.d"
+  "libmassf_util.a"
+  "libmassf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

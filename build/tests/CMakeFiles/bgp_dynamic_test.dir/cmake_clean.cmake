@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_dynamic_test.dir/bgp_dynamic_test.cpp.o"
+  "CMakeFiles/bgp_dynamic_test.dir/bgp_dynamic_test.cpp.o.d"
+  "bgp_dynamic_test"
+  "bgp_dynamic_test.pdb"
+  "bgp_dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
