@@ -1,0 +1,216 @@
+// Engine throughput baseline: the first entry of the repo's perf
+// trajectory (BENCH_pdes.json).
+//
+// Runs one deterministic synthetic workload — a ring of LPs exchanging
+// cross-LP events at exactly the lookahead plus local self-chains inside
+// each window — through both executors and reports *real* events/sec, the
+// window count, and the real barrier overhead measured by the telemetry
+// probe. Subsequent perf PRs diff this file's output; the schema
+// ("massf.bench_pdes.v1") is documented in DESIGN.md and README.md.
+//
+// Usage: bench_pdes [--lps=32] [--chain=64] [--hops=2000] [--threads=N]
+//                   [--repeats=3] [--out=BENCH_pdes.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "pdes/engine.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace massf;
+
+// Each kEvHop event forwards to the next LP in the ring after the
+// lookahead; each hop also spawns a short same-window self-chain so LPs do
+// real per-window work between barriers.
+constexpr std::int32_t kEvHop = 1;
+constexpr std::int32_t kEvLocal = 2;
+
+class RingLp final : public LogicalProcess {
+ public:
+  RingLp(LpId next, std::int64_t chain) : next_(next), chain_(chain) {}
+
+  void handle(Engine& engine, const Event& ev) override {
+    checksum = checksum * 1099511628211ULL + static_cast<std::uint64_t>(ev.time);
+    if (ev.type == kEvHop) {
+      if (ev.a > 0) {
+        engine.schedule(next_, ev.time + engine.options().lookahead, kEvHop,
+                        ev.a - 1);
+      }
+      if (chain_ > 0) {
+        engine.schedule(engine.current_lp(), ev.time + microseconds(1),
+                        kEvLocal, static_cast<std::uint64_t>(chain_ - 1));
+      }
+    } else if (ev.a > 0) {
+      engine.schedule(engine.current_lp(), ev.time + microseconds(1), kEvLocal,
+                      ev.a - 1);
+    }
+  }
+
+  std::uint64_t checksum = 0;
+
+ private:
+  LpId next_;
+  std::int64_t chain_;
+};
+
+struct Workload {
+  std::int64_t lps = 32;
+  std::int64_t chain = 64;
+  std::int64_t hops = 2000;
+};
+
+struct Measurement {
+  RunStats stats;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  std::uint64_t checksum = 0;
+  double barrier_wait_s = 0;  ///< idle thread-seconds at window barriers
+  double hook_s = 0;
+  double process_s = 0;
+  double merge_s = 0;
+};
+
+Measurement measure(const Workload& w, std::int32_t threads, int repeats) {
+  Measurement best;
+  for (int rep = 0; rep < repeats; ++rep) {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = seconds(3600);
+    Engine engine(o);
+    std::vector<RingLp*> lps;
+    for (std::int64_t i = 0; i < w.lps; ++i) {
+      auto lp = std::make_unique<RingLp>(
+          static_cast<LpId>((i + 1) % w.lps), w.chain);
+      lps.push_back(lp.get());
+      engine.add_lp(std::move(lp));
+    }
+    for (std::int64_t i = 0; i < w.lps; ++i) {
+      engine.schedule(static_cast<LpId>(i), 0, kEvHop,
+                      static_cast<std::uint64_t>(w.hops));
+    }
+
+    obs::WindowProbe probe;
+    engine.set_probe(&probe);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunStats stats =
+        threads > 0 ? engine.run_threaded(threads) : engine.run();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    Measurement m;
+    m.stats = stats;
+    m.wall_s = wall_s;
+    m.events_per_sec =
+        wall_s > 0 ? static_cast<double>(stats.total_events) / wall_s : 0;
+    for (const RingLp* lp : lps) {
+      m.checksum = m.checksum * 31 + lp->checksum;
+    }
+    const obs::WindowProbe::Summary s = probe.summary();
+    m.barrier_wait_s = s.barrier_wait_s;
+    m.hook_s = s.hook_s;
+    m.process_s = s.process_s;
+    m.merge_s = s.merge_s;
+    if (rep == 0 || m.wall_s < best.wall_s) best = m;
+  }
+  return best;
+}
+
+std::string executor_json(const char* name, const Measurement& m,
+                          std::int32_t threads) {
+  using obs::format_double;
+  std::string out = "  \"";
+  out += name;
+  out += "\": {\n";
+  out += "    \"threads\": " + std::to_string(threads) + ",\n";
+  out += "    \"events\": " + std::to_string(m.stats.total_events) + ",\n";
+  out += "    \"windows\": " + std::to_string(m.stats.num_windows) + ",\n";
+  out += "    \"wall_s\": " + format_double(m.wall_s) + ",\n";
+  out += "    \"events_per_sec\": " + format_double(m.events_per_sec) + ",\n";
+  out += "    \"hook_s\": " + format_double(m.hook_s) + ",\n";
+  out += "    \"process_s\": " + format_double(m.process_s) + ",\n";
+  out += "    \"barrier_wait_s\": " + format_double(m.barrier_wait_s) + ",\n";
+  out += "    \"merge_s\": " + format_double(m.merge_s) + ",\n";
+  out += "    \"checksum\": " + std::to_string(m.checksum) + "\n";
+  out += "  }";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Workload w;
+  w.lps = flags.get_int("lps", 32);
+  w.chain = flags.get_int("chain", 64);
+  w.hops = flags.get_int("hops", 2000);
+  const auto threads = static_cast<std::int32_t>(flags.get_int(
+      "threads",
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()))));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const std::string out_path =
+      flags.get_string("out", "BENCH_pdes.json");
+  if (threads < 1 || repeats < 1) {
+    std::fprintf(stderr, "[bench_pdes] --threads and --repeats must be >= 1\n");
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "[bench_pdes] lps=%lld chain=%lld hops=%lld threads=%d "
+               "repeats=%d\n",
+               static_cast<long long>(w.lps), static_cast<long long>(w.chain),
+               static_cast<long long>(w.hops), threads, repeats);
+
+  const Measurement seq = measure(w, /*threads=*/0, repeats);
+  std::fprintf(stderr, "[bench_pdes] sequential: %.0f events/s (%llu events, %llu windows)\n",
+               seq.events_per_sec,
+               static_cast<unsigned long long>(seq.stats.total_events),
+               static_cast<unsigned long long>(seq.stats.num_windows));
+  const Measurement thr = measure(w, threads, repeats);
+  std::fprintf(stderr, "[bench_pdes] threaded(%d): %.0f events/s\n", threads,
+               thr.events_per_sec);
+
+  if (seq.checksum != thr.checksum ||
+      seq.stats.total_events != thr.stats.total_events) {
+    std::fprintf(stderr,
+                 "[bench_pdes] ERROR: executors disagree (checksum %llu vs "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(seq.checksum),
+                 static_cast<unsigned long long>(thr.checksum));
+    return 1;
+  }
+
+  using obs::format_double;
+  std::string json = "{\n  \"schema\": \"massf.bench_pdes.v1\",\n";
+  json += "  \"config\": {\"lps\": " + std::to_string(w.lps) +
+          ", \"chain\": " + std::to_string(w.chain) +
+          ", \"hops\": " + std::to_string(w.hops) +
+          ", \"lookahead_ms\": 1, \"repeats\": " + std::to_string(repeats) +
+          "},\n";
+  json += executor_json("sequential", seq, 0) + ",\n";
+  json += executor_json("threaded", thr, threads) + ",\n";
+  json += "  \"speedup\": " +
+          format_double(thr.events_per_sec > 0 && seq.events_per_sec > 0
+                            ? thr.events_per_sec / seq.events_per_sec
+                            : 0) +
+          "\n}\n";
+
+  if (!obs::write_file(out_path, json)) {
+    std::fprintf(stderr, "[bench_pdes] failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_pdes] wrote %s\n", out_path.c_str());
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}

@@ -1,10 +1,15 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/flags.hpp"
 
 namespace massf::bench {
+
+const char* metrics_export_path() { return std::getenv("MASSF_METRICS"); }
 
 ScenarioOptions experiment_options(bool multi_as, AppKind app) {
   ScenarioOptions o;
@@ -36,14 +41,29 @@ ScenarioOptions experiment_options(bool multi_as, AppKind app) {
 std::vector<MatrixEntry> run_matrix(bool multi_as,
                                     std::span<const AppKind> apps,
                                     std::span<const MappingKind> kinds) {
+  // With MASSF_METRICS=<path>, every measured run publishes into one shared
+  // registry, written as massf.metrics.v1 JSON when the matrix finishes.
+  const char* metrics_path = metrics_export_path();
+  obs::Registry registry;
+
   std::vector<MatrixEntry> entries;
   for (const AppKind app : apps) {
-    Scenario scenario(experiment_options(multi_as, app));
+    ScenarioOptions options = experiment_options(multi_as, app);
+    if (metrics_path != nullptr) options.registry = &registry;
+    Scenario scenario(options);
     for (const MappingKind kind : kinds) {
       std::fprintf(stderr, "[bench] %s / %s / %s...\n",
                    multi_as ? "multi-AS" : "single-AS", app_kind_name(app),
                    mapping_kind_name(kind));
       entries.push_back({app, kind, scenario.run(kind)});
+    }
+  }
+  if (metrics_path != nullptr) {
+    if (obs::write_file(metrics_path, obs::to_json(registry))) {
+      std::fprintf(stderr, "[bench] metrics written to %s\n", metrics_path);
+    } else {
+      std::fprintf(stderr, "[bench] failed to write metrics to %s\n",
+                   metrics_path);
     }
   }
   return entries;

@@ -18,6 +18,11 @@ namespace massf::bench {
 /// and one application, honoring MASSF_FULL.
 ScenarioOptions experiment_options(bool multi_as, AppKind app);
 
+/// Path from MASSF_METRICS (null when unset). When set, run_matrix attaches
+/// a metrics registry to every measured run and writes the aggregate as
+/// massf.metrics.v1 JSON to this path on completion.
+const char* metrics_export_path();
+
 struct MatrixEntry {
   AppKind app;
   MappingKind kind;

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/massf_cluster.dir/DependInfo.cmake"
   "/root/repo/build/src/pdes/CMakeFiles/massf_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/massf_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/dml/CMakeFiles/massf_dml.dir/DependInfo.cmake"
   "/root/repo/build/src/topology/CMakeFiles/massf_topology.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/massf_graph.dir/DependInfo.cmake"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdes.dir/bench_pdes.cpp.o"
+  "CMakeFiles/bench_pdes.dir/bench_pdes.cpp.o.d"
+  "bench_pdes"
+  "bench_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -213,15 +213,16 @@ bench/CMakeFiles/fig08_imbalance_single_as.dir/fig08_imbalance_single_as.cpp.o: 
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/cluster/metrics.hpp /root/repo/src/cluster/cost_model.hpp \
  /root/repo/src/util/sim_time.hpp /usr/include/c++/12/limits \
- /root/repo/src/pdes/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/pdes/event.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/lb/mapping.hpp /root/repo/src/graph/graph.hpp \
- /root/repo/src/topology/network.hpp /root/repo/src/lb/profile.hpp \
- /root/repo/src/net/netsim.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/net/tcp.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/pdes/engine.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/pdes/event.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/lb/mapping.hpp \
+ /root/repo/src/graph/graph.hpp /root/repo/src/topology/network.hpp \
+ /root/repo/src/lb/profile.hpp /root/repo/src/net/netsim.hpp \
+ /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/routing/forwarding.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/routing/bgp.hpp \

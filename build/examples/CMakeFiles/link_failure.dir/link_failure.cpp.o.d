@@ -217,11 +217,11 @@ examples/CMakeFiles/link_failure.dir/link_failure.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/pdes/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stats.hpp \
- /root/repo/src/routing/forwarding.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/stats.hpp /root/repo/src/routing/forwarding.hpp \
+ /usr/include/c++/12/optional /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/routing/bgp.hpp \
  /root/repo/src/routing/ospf.hpp /root/repo/src/topology/brite.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/traffic/http.hpp \

@@ -207,8 +207,8 @@ examples/CMakeFiles/multi_as_bgp.dir/multi_as_bgp.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/cluster/metrics.hpp /root/repo/src/cluster/cost_model.hpp \
- /root/repo/src/pdes/engine.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/pdes/engine.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \

@@ -202,7 +202,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/cluster/metrics.hpp \
  /root/repo/src/cluster/cost_model.hpp /root/repo/src/util/sim_time.hpp \
  /usr/include/c++/12/limits /root/repo/src/pdes/engine.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/pdes/CMakeFiles/massf_pdes.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/massf_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

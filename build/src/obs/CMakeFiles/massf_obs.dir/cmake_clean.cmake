@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massf_obs.dir/export.cpp.o"
+  "CMakeFiles/massf_obs.dir/export.cpp.o.d"
+  "CMakeFiles/massf_obs.dir/metrics.cpp.o"
+  "CMakeFiles/massf_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/massf_obs.dir/probe.cpp.o"
+  "CMakeFiles/massf_obs.dir/probe.cpp.o.d"
+  "libmassf_obs.a"
+  "libmassf_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massf_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

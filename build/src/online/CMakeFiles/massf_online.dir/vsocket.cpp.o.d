@@ -225,14 +225,13 @@ src/online/CMakeFiles/massf_online.dir/vsocket.cpp.o: \
  /root/repo/src/net/tcp.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/pdes/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/stats.hpp /root/repo/src/routing/forwarding.hpp \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stats.hpp \
+ /root/repo/src/routing/forwarding.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/routing/bgp.hpp \
  /root/repo/src/routing/ospf.hpp /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

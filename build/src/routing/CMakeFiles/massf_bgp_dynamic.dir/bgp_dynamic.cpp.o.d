@@ -221,12 +221,14 @@ src/routing/CMakeFiles/massf_bgp_dynamic.dir/bgp_dynamic.cpp.o: \
  /root/repo/src/net/tcp.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/pdes/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/stats.hpp /root/repo/src/routing/forwarding.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stats.hpp \
+ /root/repo/src/routing/forwarding.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/routing/ospf.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/check.hpp
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/util/check.hpp

@@ -203,7 +203,8 @@ src/sim/CMakeFiles/massf_sim.dir/scenario.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/cluster/metrics.hpp \
  /root/repo/src/cluster/cost_model.hpp /root/repo/src/util/sim_time.hpp \
  /usr/include/c++/12/limits /root/repo/src/pdes/engine.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -232,6 +233,10 @@ src/sim/CMakeFiles/massf_sim.dir/scenario.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/probe.hpp \
  /root/repo/src/util/check.hpp /root/repo/src/util/log.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

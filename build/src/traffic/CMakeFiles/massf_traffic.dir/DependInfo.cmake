@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/massf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/massf_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/massf_util.dir/DependInfo.cmake"
   "/root/repo/build/src/pdes/CMakeFiles/massf_pdes.dir/DependInfo.cmake"
   "/root/repo/build/src/routing/CMakeFiles/massf_routing.dir/DependInfo.cmake"

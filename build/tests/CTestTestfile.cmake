@@ -10,6 +10,7 @@ include("/root/repo/build/tests/partition_test[1]_include.cmake")
 include("/root/repo/build/tests/topology_test[1]_include.cmake")
 include("/root/repo/build/tests/routing_test[1]_include.cmake")
 include("/root/repo/build/tests/pdes_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/cluster_test[1]_include.cmake")
 include("/root/repo/build/tests/net_test[1]_include.cmake")
 include("/root/repo/build/tests/lb_test[1]_include.cmake")

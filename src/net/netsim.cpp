@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace massf {
@@ -486,6 +487,21 @@ NetSim::Counters NetSim::totals() const {
     total.udp_delivered += st.counters.udp_delivered;
   }
   return total;
+}
+
+void NetSim::publish_metrics(obs::Registry& registry) const {
+  const Counters t = totals();
+  registry.counter("net.forwarded").inc(t.forwarded);
+  registry.counter("net.delivered").inc(t.delivered);
+  registry.counter("net.acks").inc(t.acks);
+  registry.counter("net.dropped_queue").inc(t.dropped_queue);
+  registry.counter("net.dropped_no_route").inc(t.dropped_no_route);
+  registry.counter("net.dropped_link_down").inc(t.dropped_link_down);
+  registry.counter("net.retransmits").inc(t.retransmits);
+  registry.counter("net.flows_started").inc(t.flows_started);
+  registry.counter("net.flows_completed").inc(t.flows_completed);
+  registry.counter("net.flows_failed").inc(t.flows_failed);
+  registry.counter("net.udp_delivered").inc(t.udp_delivered);
 }
 
 }  // namespace massf

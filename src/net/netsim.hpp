@@ -24,6 +24,10 @@
 
 namespace massf {
 
+namespace obs {
+class Registry;
+}  // namespace obs
+
 enum NetEventType : std::int32_t {
   kEvArrive = 1,      ///< packet arrival (payload = encoded Packet)
   kEvFlowStart = 2,   ///< a = flow id
@@ -135,6 +139,11 @@ class NetSim {
   };
   /// Aggregated over all LPs; call after the run.
   Counters totals() const;
+
+  /// Publishes totals() into `registry` as `net.*` counters (schema in
+  /// DESIGN.md). Call after the run; with no registry the packet path
+  /// carries no telemetry cost (the per-LP counters above always exist).
+  void publish_metrics(obs::Registry& registry) const;
 
   /// Per-network-node processed-event counts (empty unless
   /// collect_node_profile). Index = NodeId.

@@ -1,0 +1,40 @@
+// Registry exporters with a stable, golden-testable schema.
+//
+// JSON layout (schema id "massf.metrics.v1", full field reference in
+// DESIGN.md §"Telemetry"):
+//
+//   {
+//     "schema": "massf.metrics.v1",
+//     "counters": { "<name>": <uint>, ... },          // name-ordered
+//     "gauges":   { "<name>": <double>, ... },
+//     "histograms": {
+//       "<name>": { "bounds": [..], "counts": [..],   // counts = bounds+1
+//                    "count": <uint>, "sum": <double> }
+//     }
+//   }
+//
+// CSV layout: header "kind,name,field,value"; counters/gauges emit one
+// `value` row, histograms emit `count`, `sum`, then one `le_<bound>` row
+// per bucket and a final `le_inf` overflow row.
+//
+// Doubles are rendered with std::to_chars shortest round-trip form, so
+// output is byte-stable across runs and platforms with IEEE doubles.
+#pragma once
+
+#include <string>
+
+namespace massf::obs {
+
+class Registry;
+
+/// Shortest round-trip decimal rendering of `v`; non-finite values clamp
+/// to 0 / +-1e308 so the output stays valid JSON.
+std::string format_double(double v);
+
+std::string to_json(const Registry& registry);
+std::string to_csv(const Registry& registry);
+
+/// Writes `content` to `path` (truncating); returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace massf::obs

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace massf::obs {
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]()) {
+  MASSF_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  MASSF_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+              bounds_.end());
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<Registry::HistogramSnapshot> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.bounds = h->bounds();
+    snap.counts = h->counts();
+    snap.count = h->count();
+    snap.sum = h->sum();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace massf::obs

@@ -1,13 +1,23 @@
 #include "pdes/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "util/check.hpp"
 
 namespace massf {
 
-thread_local SimTime Engine::tls_now_ = 0;
-thread_local LpId Engine::tls_lp_ = kInvalidLp;
+thread_local Engine::HandlerCtx Engine::tls_ctx_;
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+}  // namespace
 
 std::vector<double> RunStats::event_rates() const {
   std::vector<double> rates(events_per_lp.size(), 0.0);
@@ -110,8 +120,12 @@ void Engine::account_window() {
 
 void Engine::process_lp_window(LpId i) {
   Lp& lp = lps_[static_cast<std::size_t>(i)];
+  // Save/restore the thread's handler context: an inner engine driven from
+  // a handler (nested simulation) must not clobber the outer engine's
+  // context on this thread.
+  const HandlerCtx saved = tls_ctx_;
   if (threaded_) {
-    tls_lp_ = i;
+    tls_ctx_ = HandlerCtx{this, 0, i};
   } else {
     current_lp_ = i;
   }
@@ -120,7 +134,7 @@ void Engine::process_lp_window(LpId i) {
     const Event ev = lp.queue.top();
     lp.queue.pop();
     if (threaded_) {
-      tls_now_ = ev.time;
+      tls_ctx_.now = ev.time;
     } else {
       now_ = ev.time;
     }
@@ -133,16 +147,45 @@ void Engine::process_lp_window(LpId i) {
     }
   }
   if (threaded_) {
-    tls_lp_ = kInvalidLp;
+    tls_ctx_ = saved;
   } else {
     current_lp_ = kInvalidLp;
   }
 }
 
+void Engine::run_barrier_hooks(SimTime floor) {
+  // Hooks observe the window floor through now() under both executors
+  // (current_lp() is invalid here, so schedule() takes the injection path).
+  now_ = floor;
+  for (auto& hook : barrier_hooks_) hook(*this, floor);
+}
+
+void Engine::probe_window(SimTime floor) {
+  // Called after LP processing, before the outbox exchange: window_events
+  // is still this window's tally, outboxes are undelivered, and queue
+  // depths are the backlog each LP carries into the next window.
+  probe_->begin_window(stats_.num_windows, to_seconds(floor));
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    probe_->record_lp(static_cast<std::int32_t>(i), lps_[i].window_events,
+                      lps_[i].queue.size(), lps_[i].outbox.size());
+  }
+}
+
+void Engine::publish_run_metrics() {
+  obs::Registry& r = *registry_;
+  r.counter("pdes.events").inc(stats_.total_events);
+  r.counter("pdes.windows").inc(stats_.num_windows);
+  r.gauge("pdes.lps").set(static_cast<double>(lps_.size()));
+  r.gauge("pdes.modeled_wall_s").add(stats_.modeled_wall_s);
+  r.gauge("pdes.modeled_sync_s").add(stats_.modeled_sync_s);
+  r.gauge("pdes.end_vtime_s").set(to_seconds(stats_.end_vtime));
+  r.gauge("pdes.lookahead_s").set(to_seconds(opts_.lookahead));
+}
+
 void Engine::begin_run() {
   MASSF_CHECK(!running_);
   running_ = true;
-  stop_requested_ = false;
+  stop_requested_.store(false, std::memory_order_relaxed);
   stats_ = RunStats{};
   stats_.events_per_lp.assign(lps_.size(), 0);
   stats_.busy_s.assign(lps_.size(), 0.0);
@@ -159,19 +202,36 @@ void Engine::finish_run(SimTime floor) {
     stats_.events_per_lp[i] = lps_[i].events;
     stats_.total_events += lps_[i].events;
   }
+  if (registry_) publish_run_metrics();
 }
 
 RunStats Engine::run() {
   begin_run();
   SimTime floor = next_event_floor();
-  while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested_) {
+  while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
     window_end_ = floor + opts_.lookahead;
-    for (auto& hook : barrier_hooks_) hook(*this, floor);
-    for (LpId i = 0; i < static_cast<LpId>(lps_.size()); ++i) {
-      process_lp_window(i);
+    if (probe_ == nullptr) {
+      run_barrier_hooks(floor);
+      for (LpId i = 0; i < static_cast<LpId>(lps_.size()); ++i) {
+        process_lp_window(i);
+      }
+      deliver_outboxes();
+      account_window();
+    } else {
+      const auto t0 = Clock::now();
+      run_barrier_hooks(floor);
+      const auto t1 = Clock::now();
+      for (LpId i = 0; i < static_cast<LpId>(lps_.size()); ++i) {
+        process_lp_window(i);
+      }
+      const auto t2 = Clock::now();
+      probe_window(floor);
+      deliver_outboxes();
+      account_window();
+      const auto t3 = Clock::now();
+      probe_->end_window(elapsed_s(t0, t1), elapsed_s(t1, t2),
+                         /*barrier_wait_s=*/0.0, elapsed_s(t2, t3));
     }
-    deliver_outboxes();
-    account_window();
     floor = next_event_floor();
   }
   finish_run(floor);

@@ -19,6 +19,7 @@
 // results.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,6 +30,11 @@
 #include "util/stats.hpp"
 
 namespace massf {
+
+namespace obs {
+class Registry;
+class WindowProbe;
+}  // namespace obs
 
 class Engine;
 
@@ -101,11 +107,17 @@ class Engine {
   void schedule(LpId lp, SimTime time, std::int32_t type, std::uint64_t a = 0,
                 std::uint64_t b = 0, std::uint64_t c = 0, std::uint64_t d = 0);
 
-  /// Timestamp of the event being handled (valid inside handle()).
-  SimTime now() const { return threaded_ ? tls_now_ : now_; }
+  /// Timestamp of the event being handled (valid inside handle()); inside a
+  /// barrier hook, the start time (floor) of the window about to open —
+  /// identical under both executors.
+  SimTime now() const {
+    return (threaded_ && tls_ctx_.engine == this) ? tls_ctx_.now : now_;
+  }
 
   /// LP whose event is being handled (valid inside handle()).
-  LpId current_lp() const { return threaded_ ? tls_lp_ : current_lp_; }
+  LpId current_lp() const {
+    return (threaded_ && tls_ctx_.engine == this) ? tls_ctx_.lp : current_lp_;
+  }
 
   /// Runs sequentially (deterministic reference executor) until end_time or
   /// event exhaustion.
@@ -119,9 +131,11 @@ class Engine {
   /// wall clock differs.
   RunStats run_threaded(std::int32_t num_threads);
 
-  /// Requests a clean stop at the next window boundary (usable from
-  /// handlers and, in online mode, from the agent thread).
-  void request_stop() { stop_requested_ = true; }
+  /// Requests a clean stop at the next window boundary. Callable from
+  /// handlers (including ones running on run_threaded workers) and, in
+  /// online mode, from the agent thread — hence the atomic: the coordinator
+  /// re-reads the flag at every window boundary.
+  void request_stop() { stop_requested_.store(true, std::memory_order_release); }
 
   /// Registers a hook invoked at every window barrier with the window
   /// start time. The online layer paces virtual time and injects live
@@ -137,6 +151,18 @@ class Engine {
   void set_barrier_hook(std::function<void(Engine&, SimTime)> hook) {
     add_barrier_hook(std::move(hook));
   }
+
+  /// Attaches a window telemetry probe (obs/probe.hpp): per window the
+  /// engine records per-LP events, queue depths, outbox sizes, and real
+  /// wall-clock per protocol phase. Null (the default) detaches; without a
+  /// probe the run loop performs no clock reads and no recording — the
+  /// per-event path is untouched either way.
+  void set_probe(obs::WindowProbe* probe) { probe_ = probe; }
+
+  /// Attaches a metrics registry (obs/metrics.hpp): run totals are
+  /// published as `pdes.*` counters/gauges when a run finishes (schema in
+  /// DESIGN.md). Null (the default) publishes nothing.
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
 
  private:
   friend class ThreadedExecutor;
@@ -154,8 +180,12 @@ class Engine {
   void deliver_outboxes();
   void account_window();
   void process_lp_window(LpId i);
-  void begin_run();
-  void finish_run(SimTime floor);
+  void run_barrier_hooks(SimTime floor);
+  void probe_window(SimTime floor);
+  void publish_run_metrics();
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
 
   EngineOptions opts_;
   std::vector<Lp> lps_;
@@ -164,14 +194,27 @@ class Engine {
   SimTime window_end_ = 0;
   bool running_ = false;
   bool threaded_ = false;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
   RunStats stats_;
   std::vector<std::function<void(Engine&, SimTime)>> barrier_hooks_;
+  obs::WindowProbe* probe_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+
+  void begin_run();
+  void finish_run(SimTime floor);
 
   // Handler context for worker threads; each LP is owned by exactly one
   // thread within a window, so all queue/outbox mutations stay LP-local.
-  static thread_local SimTime tls_now_;
-  static thread_local LpId tls_lp_;
+  // The context is tagged with the owning engine and saved/restored around
+  // each LP's window, so engines that nest or interleave on one thread
+  // (e.g. a handler driving an inner simulation) cannot read each other's
+  // handler state.
+  struct HandlerCtx {
+    const Engine* engine = nullptr;
+    SimTime now = 0;
+    LpId lp = kInvalidLp;
+  };
+  static thread_local HandlerCtx tls_ctx_;
 };
 
 }  // namespace massf

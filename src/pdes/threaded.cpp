@@ -5,13 +5,23 @@
 // no locks are needed — the std::barrier phases are the only coordination,
 // mirroring the MPI barrier of the real cluster engine.
 #include <barrier>
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "pdes/engine.hpp"
 #include "util/check.hpp"
 
 namespace massf {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+}  // namespace
 
 RunStats Engine::run_threaded(std::int32_t num_threads) {
   MASSF_CHECK(num_threads >= 1);
@@ -23,16 +33,26 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
   std::barrier sync(num_threads + 1);
   bool done = false;  // written by coordinator between barrier phases only
 
+  // Per-worker busy time within the current window (seconds); written by
+  // the owning worker inside the window, read by the coordinator after the
+  // closing barrier. Only maintained when a probe is attached.
+  std::vector<double> worker_busy_s(static_cast<std::size_t>(num_threads), 0.0);
+
   std::vector<std::jthread> workers;
   workers.reserve(static_cast<std::size_t>(num_threads));
   for (std::int32_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([this, t, num_threads, &sync, &done] {
+    workers.emplace_back([this, t, num_threads, &sync, &done, &worker_busy_s] {
       for (;;) {
         sync.arrive_and_wait();  // window opened (or done raised)
         if (done) return;
+        const auto t0 = probe_ ? Clock::now() : Clock::time_point{};
         for (LpId i = t; i < static_cast<LpId>(lps_.size());
              i += num_threads) {
           process_lp_window(i);
+        }
+        if (probe_) {
+          worker_busy_s[static_cast<std::size_t>(t)] =
+              elapsed_s(t0, Clock::now());
         }
         sync.arrive_and_wait();  // window closed
       }
@@ -40,13 +60,35 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
   }
 
   SimTime floor = next_event_floor();
-  while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested_) {
+  while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
     window_end_ = floor + opts_.lookahead;
-    for (auto& hook : barrier_hooks_) hook(*this, floor);
-    sync.arrive_and_wait();  // release workers into the window
-    sync.arrive_and_wait();  // wait for all LPs to finish
-    deliver_outboxes();
-    account_window();
+    if (probe_ == nullptr) {
+      run_barrier_hooks(floor);
+      sync.arrive_and_wait();  // release workers into the window
+      sync.arrive_and_wait();  // wait for all LPs to finish
+      deliver_outboxes();
+      account_window();
+    } else {
+      const auto t0 = Clock::now();
+      run_barrier_hooks(floor);
+      const auto t1 = Clock::now();
+      sync.arrive_and_wait();  // release workers into the window
+      sync.arrive_and_wait();  // wait for all LPs to finish
+      const auto t2 = Clock::now();
+      probe_window(floor);
+      deliver_outboxes();
+      account_window();
+      const auto t3 = Clock::now();
+      // Barrier wait = idle thread-seconds at the closing barrier: the
+      // window span charged to every worker minus the time it was busy.
+      const double span = elapsed_s(t1, t2);
+      double busy = 0;
+      for (std::int32_t t = 0; t < num_threads; ++t) {
+        busy += worker_busy_s[static_cast<std::size_t>(t)];
+      }
+      const double wait = std::max(0.0, span * num_threads - busy);
+      probe_->end_window(elapsed_s(t0, t1), span, wait, elapsed_s(t2, t3));
+    }
     floor = next_event_floor();
   }
 

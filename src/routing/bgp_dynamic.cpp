@@ -4,6 +4,7 @@
 #include <set>
 #include <tuple>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace massf {
@@ -188,15 +189,18 @@ void BgpSpeakers::process_batch(Engine& engine, NetSim& sim, AsId me,
         s.rib_in[static_cast<std::size_t>(u.dest) * nn +
                  static_cast<std::size_t>(ni)];
     if (u.withdraw) {
+      ++s.withdraw_rx;
       cand.valid = false;
       cand.path.clear();
     } else if (std::find(u.path.begin(), u.path.end(), me) != u.path.end()) {
       // AS-path loop: BGP silently discards — and any previously held
       // candidate from this neighbor is replaced, i.e. implicitly
       // withdrawn by the new (unusable) announcement.
+      ++s.withdraw_rx;
       cand.valid = false;
       cand.path.clear();
     } else {
+      ++s.announce_rx;
       cand.valid = true;
       cand.path = u.path;
     }
@@ -242,6 +246,7 @@ void BgpSpeakers::reselect(Engine& engine, NetSim& sim, AsId me, AsId dest) {
   if (cur == best && cur_path == new_path) return;
   cur = best;
   cur_path = std::move(new_path);
+  ++s.route_changes;
   s.last_change = std::max(s.last_change, engine.now());
   s.last_change_for[static_cast<std::size_t>(dest)] = engine.now();
   queue_export(me, dest);
@@ -370,6 +375,33 @@ std::uint64_t BgpSpeakers::batches_sent() const {
   std::uint64_t total = 0;
   for (const Speaker& s : speakers_) total += s.batches_sent;
   return total;
+}
+
+std::uint64_t BgpSpeakers::announcements_received() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.announce_rx;
+  return total;
+}
+
+std::uint64_t BgpSpeakers::withdrawals_received() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.withdraw_rx;
+  return total;
+}
+
+std::uint64_t BgpSpeakers::route_changes() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.route_changes;
+  return total;
+}
+
+void BgpSpeakers::publish_metrics(obs::Registry& registry) const {
+  registry.counter("bgp.updates_sent").inc(updates_sent());
+  registry.counter("bgp.batches_sent").inc(batches_sent());
+  registry.counter("bgp.announcements_rx").inc(announcements_received());
+  registry.counter("bgp.withdrawals_rx").inc(withdrawals_received());
+  registry.counter("bgp.route_changes").inc(route_changes());
+  registry.gauge("bgp.last_change_vtime_s").set(to_seconds(last_change()));
 }
 
 SimTime BgpSpeakers::last_change() const {

@@ -79,6 +79,21 @@ class BgpSpeakers final : public TrafficComponent {
   std::uint64_t updates_sent() const;
   std::uint64_t batches_sent() const;
 
+  // ---- churn counters (summed over speakers) ------------------------------
+
+  /// Announcements received and accepted into adj-RIB-in (loop-rejected
+  /// announcements count as withdrawals, matching RFC treat-as-withdraw).
+  std::uint64_t announcements_received() const;
+  /// Withdrawals received (explicit or implicit via loop rejection).
+  std::uint64_t withdrawals_received() const;
+  /// Best-route changes across all (speaker, prefix) pairs — the BGP churn
+  /// a route-view monitor would observe.
+  std::uint64_t route_changes() const;
+
+  /// Publishes churn counters and the convergence instant into `registry`
+  /// as `bgp.*` metrics (schema in DESIGN.md).
+  void publish_metrics(obs::Registry& registry) const override;
+
   /// Virtual time of the last routing-table change anywhere — the
   /// convergence instant (-1 if nothing ever changed).
   SimTime last_change() const;
@@ -122,6 +137,9 @@ class BgpSpeakers final : public TrafficComponent {
     // Statistics, owned by this speaker's LP (summed by the getters).
     std::uint64_t updates_sent = 0;
     std::uint64_t batches_sent = 0;
+    std::uint64_t announce_rx = 0;
+    std::uint64_t withdraw_rx = 0;
+    std::uint64_t route_changes = 0;
     SimTime last_change = -1;
   };
 

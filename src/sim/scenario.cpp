@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "traffic/dataflow.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -212,6 +214,11 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
   install_traffic(engine, sim, manager, /*profiling=*/false);
   manager.start(engine, sim);
 
+  // Telemetry attaches to the measured run only (never the profiling run,
+  // whose purpose is producing the mapping input, not observations).
+  engine.set_registry(opts_.registry);
+  engine.set_probe(opts_.probe);
+
   ExperimentResult result;
   result.mapping = mapping;
   result.stats = opts_.executor_threads > 0
@@ -219,6 +226,15 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
                      : engine.run();
   result.metrics = compute_metrics(result.stats, opts_.cluster);
   result.counters = sim.totals();
+  if (opts_.registry != nullptr) {
+    sim.publish_metrics(*opts_.registry);
+    manager.publish_metrics(*opts_.registry);
+    if (opts_.probe != nullptr) opts_.probe->publish(*opts_.registry);
+    opts_.registry->gauge("sim.load_imbalance")
+        .set(result.metrics.load_imbalance);
+    opts_.registry->gauge("sim.parallel_efficiency")
+        .set(result.metrics.parallel_efficiency);
+  }
   return result;
 }
 

@@ -23,6 +23,11 @@
 
 namespace massf {
 
+namespace obs {
+class Registry;
+class WindowProbe;
+}  // namespace obs
+
 enum class AppKind { kNone, kScaLapack, kGridNpb };
 
 const char* app_kind_name(AppKind kind);
@@ -59,6 +64,13 @@ struct ScenarioOptions {
   std::uint64_t seed = 42;
   NetSimOptions netsim;
   MappingOptions mapping;  ///< kind/num_engines/cluster are overridden
+
+  // ---- telemetry (obs/) ----------------------------------------------------
+  /// When set, the measured run publishes engine/net/traffic/sim metrics
+  /// into this registry (null-sink default: no telemetry, no overhead).
+  obs::Registry* registry = nullptr;
+  /// When set, attached to the measured run's engine for per-window records.
+  obs::WindowProbe* probe = nullptr;
 };
 
 /// Paper-scale option presets.

@@ -199,7 +199,8 @@ NodeId attach_hosts(Network& net, std::int32_t count, NodeId router_begin,
         router_begin +
         static_cast<NodeId>(rng.uniform(
             static_cast<std::uint64_t>(router_end - router_begin))));
-    const NetNode& rn = net.nodes[static_cast<std::size_t>(r)];
+    // Copy, not reference: the push_back below may reallocate net.nodes.
+    const NetNode rn = net.nodes[static_cast<std::size_t>(r)];
     NetNode h;
     h.kind = NodeKind::kHost;
     h.as_id = rn.as_id;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace massf {
@@ -106,6 +107,11 @@ std::uint64_t HttpWorkload::responses_completed() const {
   std::uint64_t total = 0;
   for (const Client& c : clients_) total += c.responses;
   return total;
+}
+
+void HttpWorkload::publish_metrics(obs::Registry& registry) const {
+  registry.counter("traffic.http.requests").inc(requests_issued());
+  registry.counter("traffic.http.responses").inc(responses_completed());
 }
 
 }  // namespace massf

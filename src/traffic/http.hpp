@@ -37,6 +37,10 @@ class HttpWorkload final : public TrafficComponent {
   std::uint64_t requests_issued() const;
   std::uint64_t responses_completed() const;
 
+  /// Publishes `traffic.http.*` counters (requests issued / responses
+  /// completed) into `registry`.
+  void publish_metrics(obs::Registry& registry) const override;
+
  private:
   struct Client {
     NodeId host;

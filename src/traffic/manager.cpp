@@ -9,6 +9,7 @@ void TrafficComponent::on_flow_complete(Engine&, NetSim&, FlowId, NodeId,
 void TrafficComponent::on_timer(Engine&, NetSim&, NodeId, std::uint64_t,
                                 std::uint64_t) {}
 void TrafficComponent::on_udp(Engine&, NetSim&, const Packet&) {}
+void TrafficComponent::publish_metrics(obs::Registry&) const {}
 
 TrafficManager::TrafficManager(NetSim& sim) {
   sim.set_flow_complete([this](Engine& engine, NetSim& s, FlowId flow,
@@ -41,6 +42,12 @@ void TrafficManager::add(TrafficKind kind,
 void TrafficManager::start(Engine& engine, NetSim& sim) {
   for (auto& c : components_) {
     if (c) c->start(engine, sim);
+  }
+}
+
+void TrafficManager::publish_metrics(obs::Registry& registry) const {
+  for (const auto& c : components_) {
+    if (c) c->publish_metrics(registry);
   }
 }
 

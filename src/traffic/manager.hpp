@@ -14,6 +14,10 @@
 
 namespace massf {
 
+namespace obs {
+class Registry;
+}  // namespace obs
+
 /// Component-kind ids (4 bits in flow tags, 8 bits in timer payloads).
 enum class TrafficKind : std::uint32_t {
   kNone = 0,
@@ -65,6 +69,11 @@ class TrafficComponent {
   virtual void on_timer(Engine& engine, NetSim& sim, NodeId host,
                         std::uint64_t payload, std::uint64_t c);
   virtual void on_udp(Engine& engine, NetSim& sim, const Packet& packet);
+
+  /// Publishes this component's counters into `registry` (called after the
+  /// run, outside any handler). Default publishes nothing — the null-sink
+  /// contract of the telemetry layer.
+  virtual void publish_metrics(obs::Registry& registry) const;
 };
 
 class TrafficManager {
@@ -77,6 +86,9 @@ class TrafficManager {
 
   /// Calls start() on every registered component.
   void start(Engine& engine, NetSim& sim);
+
+  /// Publishes every registered component's metrics into `registry`.
+  void publish_metrics(obs::Registry& registry) const;
 
   TrafficComponent* component(TrafficKind kind) const;
 

@@ -81,7 +81,10 @@ TEST(Agent, PreQueuedSendDelivered) {
 }
 
 TEST(Agent, LiveInjectionFromAnotherThread) {
-  Fixture f(AgentOptions{}, seconds(120));
+  // Unbounded horizon: the run ends via request_stop() only. With a finite
+  // horizon the engine can exhaust it before this thread is scheduled at
+  // all (single-core machines), and a submit after the run hangs forever.
+  Fixture f(AgentOptions{}, seconds(1000000));
   std::thread app([&] {
     // Wait until the engine has advanced, then inject live.
     while (f.agent->virtual_now() < milliseconds(50)) {
@@ -125,7 +128,9 @@ TEST(Agent, MultipleSendsAllComplete) {
 }
 
 TEST(VSocket, SendReceiveRoundTrip) {
-  Fixture f(AgentOptions{}, seconds(120));
+  // Unbounded horizon, as in LiveInjectionFromAnotherThread: receive()'s
+  // wall deadline only works while the engine is still opening windows.
+  Fixture f(AgentOptions{}, seconds(1000000));
   VSocket sender(*f.agent, f.hosts[0]);
   VSocket receiver(*f.agent, f.hosts[1]);
 

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "pdes/engine.hpp"
 
 namespace massf {
@@ -300,6 +305,199 @@ TEST(ThreadedEngine, MatchesSequentialResults) {
     return sums;
   };
   EXPECT_EQ(build_and_run(false), build_and_run(true));
+}
+
+TEST(ThreadedEngine, BitIdenticalStatsWithHooksAndStop) {
+  // Regression: barrier-hook scheduling plus a mid-run request_stop() must
+  // produce the same RunStats under both executors, field for field.
+  const auto build_and_run = [](bool threaded) {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = seconds(2);
+    o.cost_per_event_s = 1e-6;
+    o.sync_cost_s = 1e-5;
+    Engine engine(o);
+    std::vector<PingPongLp*> lps;
+    for (int i = 0; i < 4; ++i) {
+      auto lp = std::make_unique<PingPongLp>();
+      lps.push_back(lp.get());
+      engine.add_lp(std::move(lp));
+    }
+    for (int i = 0; i < 4; ++i) {
+      lps[static_cast<std::size_t>(i)]->peer = (i + 1) % 4;
+    }
+    engine.schedule(0, milliseconds(1), 1, 2000);
+    int windows = 0;
+    engine.set_barrier_hook([&](Engine& eng, SimTime floor) {
+      // Inject from the hook every 8th window, stop after 100.
+      if (++windows % 8 == 0) {
+        eng.schedule(1, floor + eng.options().lookahead, 1, 3);
+      }
+      if (windows == 100) eng.request_stop();
+    });
+    return threaded ? engine.run_threaded(3) : engine.run();
+  };
+  const RunStats seq = build_and_run(false);
+  const RunStats thr = build_and_run(true);
+  EXPECT_EQ(seq.total_events, thr.total_events);
+  EXPECT_EQ(seq.num_windows, thr.num_windows);
+  EXPECT_EQ(seq.end_vtime, thr.end_vtime);
+  EXPECT_EQ(seq.events_per_lp, thr.events_per_lp);
+  EXPECT_EQ(seq.busy_s, thr.busy_s);
+  EXPECT_EQ(seq.modeled_wall_s, thr.modeled_wall_s);
+  EXPECT_EQ(seq.modeled_sync_s, thr.modeled_sync_s);
+  EXPECT_EQ(seq.num_windows, 100u);  // the stop took effect, not the horizon
+}
+
+TEST(ThreadedEngine, HooksSeeWindowFloorViaNow) {
+  // Regression: under run_threaded() hooks run on the coordinator thread,
+  // which never executes LP handlers; engine.now() there must still report
+  // the window floor (it used to read a never-set thread-local and return 0).
+  const auto floors_seen = [](bool threaded) {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = milliseconds(20);
+    Engine engine(o);
+    auto lp = std::make_unique<RecordingLp>();
+    lp->self_chain = 30;
+    lp->local_delay = milliseconds(1);
+    engine.add_lp(std::move(lp));
+    engine.schedule(0, milliseconds(1), 3);
+    std::vector<std::pair<SimTime, SimTime>> seen;
+    engine.set_barrier_hook([&](Engine& eng, SimTime floor) {
+      seen.emplace_back(floor, eng.now());
+    });
+    if (threaded) {
+      engine.run_threaded(2);
+    } else {
+      engine.run();
+    }
+    return seen;
+  };
+  for (const bool threaded : {false, true}) {
+    const auto seen = floors_seen(threaded);
+    ASSERT_GT(seen.size(), 3u);
+    for (const auto& [floor, now] : seen) {
+      EXPECT_EQ(now, floor) << (threaded ? "threaded" : "sequential");
+    }
+  }
+}
+
+TEST(ThreadedEngine, ConcurrentEnginesKeepHandlerContext) {
+  // Two engines running at once (one threaded, one sequential, on separate
+  // host threads) must each report their own event time and LP id inside
+  // handlers — the handler context is per engine, not per thread.
+  class CheckingLp final : public LogicalProcess {
+   public:
+    explicit CheckingLp(std::atomic<int>* mismatches)
+        : mismatches_(mismatches) {}
+    void handle(Engine& engine, const Event& ev) override {
+      if (engine.now() != ev.time || engine.current_lp() != ev.lp) {
+        mismatches_->fetch_add(1, std::memory_order_relaxed);
+      }
+      if (ev.a > 0) {
+        engine.schedule(ev.lp == 0 ? 1 : 0, ev.time + milliseconds(1), 1,
+                        ev.a - 1);
+      }
+    }
+
+   private:
+    std::atomic<int>* mismatches_;
+  };
+
+  std::atomic<int> mismatches{0};
+  const auto make_engine = [&] {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = seconds(2);
+    auto engine = std::make_unique<Engine>(o);
+    engine->add_lp(std::make_unique<CheckingLp>(&mismatches));
+    engine->add_lp(std::make_unique<CheckingLp>(&mismatches));
+    engine->schedule(0, milliseconds(1), 1, 800);
+    return engine;
+  };
+  auto a = make_engine();
+  auto b = make_engine();
+  std::thread ta([&] { a->run_threaded(2); });
+  std::thread tb([&] { b->run(); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadedEngine, NestedEngineDoesNotClobberOuterContext) {
+  // A handler that drives a whole inner simulation must still observe the
+  // outer engine's time/LP afterwards.
+  class NestingLp final : public LogicalProcess {
+   public:
+    explicit NestingLp(std::atomic<int>* mismatches)
+        : mismatches_(mismatches) {}
+    void handle(Engine& engine, const Event& ev) override {
+      EngineOptions inner_opts;
+      inner_opts.lookahead = milliseconds(1);
+      inner_opts.end_time = milliseconds(50);
+      Engine inner(inner_opts);
+      auto lp = std::make_unique<RecordingLp>();
+      lp->self_chain = 5;
+      lp->local_delay = milliseconds(2);
+      inner.add_lp(std::move(lp));
+      inner.schedule(0, milliseconds(1), 3);
+      inner.run();
+      if (engine.now() != ev.time || engine.current_lp() != ev.lp) {
+        mismatches_->fetch_add(1, std::memory_order_relaxed);
+      }
+      if (ev.a > 0) {
+        engine.schedule(ev.lp, ev.time + milliseconds(1), 1, ev.a - 1);
+      }
+    }
+
+   private:
+    std::atomic<int>* mismatches_;
+  };
+
+  std::atomic<int> mismatches{0};
+  EngineOptions o;
+  o.lookahead = milliseconds(1);
+  o.end_time = seconds(1);
+  Engine engine(o);
+  engine.add_lp(std::make_unique<NestingLp>(&mismatches));
+  engine.add_lp(std::make_unique<NestingLp>(&mismatches));
+  engine.schedule(0, milliseconds(1), 1, 20);
+  engine.schedule(1, milliseconds(1), 1, 20);
+  engine.run_threaded(2);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadedEngine, ProbeCountsMatchRunStats) {
+  // The window probe's aggregate view must agree with the engine's own
+  // accounting under both executors.
+  for (const bool threaded : {false, true}) {
+    EngineOptions o;
+    o.lookahead = milliseconds(1);
+    o.end_time = seconds(1);
+    Engine engine(o);
+    std::vector<PingPongLp*> lps;
+    for (int i = 0; i < 2; ++i) {
+      auto lp = std::make_unique<PingPongLp>();
+      lps.push_back(lp.get());
+      engine.add_lp(std::move(lp));
+    }
+    lps[0]->peer = 1;
+    lps[1]->peer = 0;
+    engine.schedule(0, milliseconds(1), 1, 200);
+    obs::WindowProbe probe;
+    obs::Registry registry;
+    engine.set_probe(&probe);
+    engine.set_registry(&registry);
+    const RunStats stats = threaded ? engine.run_threaded(2) : engine.run();
+    EXPECT_EQ(probe.summary().windows, stats.num_windows);
+    EXPECT_EQ(probe.summary().events, stats.total_events);
+    ASSERT_EQ(probe.num_lps(), 2u);
+    EXPECT_EQ(probe.lp_events()[0], stats.events_per_lp[0]);
+    EXPECT_EQ(probe.lp_events()[1], stats.events_per_lp[1]);
+    EXPECT_EQ(registry.counter("pdes.events").value(), stats.total_events);
+    EXPECT_EQ(registry.counter("pdes.windows").value(), stats.num_windows);
+  }
 }
 
 TEST(ThreadedEngine, SingleThreadDegenerate) {
