@@ -1,0 +1,234 @@
+// Chaos harness: BGP Beacon with injected faults, end to end.
+//
+// Builds a multi-AS network with dynamic BGP speakers and a background
+// HTTP workload, runs a RIPE-style beacon (withdraw / re-announce) while a
+// scripted fault scenario — link flap train, loss burst, router crash and
+// restore, BGP session reset — plays out through the FaultInjector, and
+// verifies the tentpole determinism property: the sequential and threaded
+// executors produce bit-identical RunStats and bit-identical
+// massf.metrics.v1 JSON (which includes the massf.fault.v1 block) for the
+// same seed. Exits non-zero on any mismatch.
+//
+// Also reports what the fault metrics are for: per-event OSPF and BGP
+// reconvergence times.
+//
+//   chaos_beacon [--smoke]   # --smoke: reduced scale for the test tier
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "net/netsim.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "routing/forwarding.hpp"
+#include "topology/mabrite.hpp"
+#include "traffic/http.hpp"
+#include "traffic/manager.hpp"
+
+namespace massf {
+namespace {
+
+struct Scale {
+  std::int32_t num_as = 12;
+  std::int32_t routers_per_as = 6;
+  std::int32_t num_hosts = 100;
+  std::int32_t lps = 4;
+  std::int32_t threads = 4;
+  SimTime end = seconds(60);
+};
+
+struct RunResult {
+  RunStats stats;
+  std::string metrics_json;
+  std::vector<double> ospf_reconverge_s;
+  std::vector<FaultInjector::BgpReconvergence> bgp_reconverge;
+};
+
+/// First intra-AS router-router link of `as` (for the flap/loss targets).
+LinkId intra_as_link(const Network& net, AsId as, LinkId not_this = -1) {
+  for (LinkId l = 0; l < static_cast<LinkId>(net.links.size()); ++l) {
+    const NetLink& link = net.links[static_cast<std::size_t>(l)];
+    if (l != not_this && !link.inter_as && net.is_router(link.a) &&
+        net.is_router(link.b) &&
+        net.nodes[static_cast<std::size_t>(link.a)].as_id == as) {
+      return l;
+    }
+  }
+  std::fprintf(stderr, "no intra-AS router link in AS %d\n", as);
+  std::exit(1);
+}
+
+RunResult run_once(const Scale& scale, bool threaded) {
+  MaBriteOptions mo;
+  mo.num_as = scale.num_as;
+  mo.routers_per_as = scale.routers_per_as;
+  mo.num_hosts = scale.num_hosts;
+  mo.seed = 5;
+  Network net = generate_multi_as(mo);
+  const auto num_plain_hosts = static_cast<NodeId>(net.nodes.size()) -
+                               net.num_routers;
+  const std::vector<NodeId> speaker_hosts = add_bgp_speaker_hosts(net);
+
+  std::vector<NodeId> dests;
+  for (NodeId h = net.num_routers;
+       h < static_cast<NodeId>(net.nodes.size()); ++h) {
+    dests.push_back(net.nodes[static_cast<std::size_t>(h)].attach_router);
+  }
+  ForwardingPlane fp = ForwardingPlane::build_multi_as(net, dests);
+
+  // Partition by AS blocks; lookahead = min cross-LP link latency.
+  std::vector<LpId> map(static_cast<std::size_t>(net.num_routers), 0);
+  for (NodeId r = 0; r < net.num_routers; ++r) {
+    map[static_cast<std::size_t>(r)] =
+        net.nodes[static_cast<std::size_t>(r)].as_id % scale.lps;
+  }
+  SimTime lookahead = kSimTimeMax;
+  for (const NetLink& l : net.links) {
+    if (net.is_router(l.a) && net.is_router(l.b) &&
+        map[static_cast<std::size_t>(l.a)] !=
+            map[static_cast<std::size_t>(l.b)]) {
+      lookahead = std::min(lookahead, l.latency);
+    }
+  }
+
+  EngineOptions eo;
+  eo.lookahead = lookahead;
+  eo.end_time = scale.end;
+  Engine engine(eo);
+  NetSim sim(net, fp, map, engine, NetSimOptions{});
+  TrafficManager manager(sim);
+
+  auto speakers_owned = std::make_unique<BgpSpeakers>(net, speaker_hosts,
+                                                      BgpDynamicOptions{});
+  BgpSpeakers* speakers = speakers_owned.get();
+  manager.add(TrafficKind::kBgp, std::move(speakers_owned));
+
+  // Background HTTP over the plain hosts (the speakers stay BGP-only).
+  std::vector<NodeId> clients, servers;
+  for (NodeId i = 0; i < num_plain_hosts; ++i) {
+    const NodeId h = net.num_routers + i;
+    (i % 4 == 0 ? servers : clients).push_back(h);
+  }
+  HttpOptions ho;
+  ho.think_time_mean_s = 0.5;
+  manager.add(TrafficKind::kHttp,
+              std::make_unique<HttpWorkload>(clients, servers, ho));
+
+  // The beacon: withdraw at 10 s, re-announce at 20 s.
+  const AsId beacon_as = net.num_as() - 1;
+  speakers->schedule_beacon(engine, sim, beacon_as, seconds(10), seconds(10),
+                            /*toggles=*/2);
+
+  // The chaos scenario, exercised through the text format. Targets are
+  // picked from the generated topology: a flapping intra-AS link and a
+  // lossy one in AS 0, a crashed router in AS 1, and a session reset on
+  // the first AS adjacency.
+  const LinkId flap_link = intra_as_link(net, 0);
+  const LinkId loss_link = intra_as_link(net, 0, flap_link);
+  const NodeId crash_router =
+      net.as_info[1].first_router + (net.as_info[1].num_routers > 1 ? 1 : 0);
+  const AsAdjacency& adj = net.as_adjacency.front();
+  char scenario[512];
+  std::snprintf(scenario, sizeof scenario,
+                "# chaos_beacon scripted scenario\n"
+                "at 12 flap link=%d count=3 period=2 downtime=0.5\n"
+                "at 13 loss link=%d duration=2 rate=0.05\n"
+                "at 15 crash router=%d\n"
+                "at 20 restore router=%d\n"
+                "at 18 bgp_reset as=%d peer=%d downtime=2\n",
+                flap_link, loss_link, crash_router, crash_router, adj.as_a,
+                adj.as_b);
+  std::string parse_error;
+  const auto schedule = parse_fault_schedule(scenario, &parse_error);
+  if (!schedule) {
+    std::fprintf(stderr, "scenario parse error: %s\n", parse_error.c_str());
+    std::exit(1);
+  }
+
+  FaultInjector injector(net, fp);
+  injector.set_bgp(speakers);
+  injector.arm(engine, sim, *schedule);
+
+  manager.start(engine, sim);
+  RunResult r;
+  r.stats = threaded ? engine.run_threaded(scale.threads) : engine.run();
+
+  obs::Registry registry;
+  sim.publish_metrics(registry);
+  manager.publish_metrics(registry);
+  injector.publish_metrics(registry);
+  r.metrics_json = obs::to_json(registry);
+  r.ospf_reconverge_s = injector.ospf_reconvergence_s();
+  r.bgp_reconverge = injector.bgp_reconvergence();
+  return r;
+}
+
+bool same_stats(const RunStats& a, const RunStats& b) {
+  return a.total_events == b.total_events && a.num_windows == b.num_windows &&
+         a.events_per_lp == b.events_per_lp && a.end_vtime == b.end_vtime &&
+         a.modeled_wall_s == b.modeled_wall_s &&
+         a.modeled_sync_s == b.modeled_sync_s;
+}
+
+}  // namespace
+}  // namespace massf
+
+int main(int argc, char** argv) {
+  using namespace massf;
+  Scale scale;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      scale.num_as = 6;
+      scale.routers_per_as = 4;
+      scale.num_hosts = 24;
+      scale.lps = 2;
+      scale.threads = 2;
+      scale.end = seconds(30);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "[chaos_beacon] sequential run...\n");
+  const RunResult seq = run_once(scale, /*threaded=*/false);
+  std::fprintf(stderr, "[chaos_beacon] threaded run (%d threads)...\n",
+               scale.threads);
+  const RunResult thr = run_once(scale, /*threaded=*/true);
+
+  std::printf("events=%llu windows=%llu end_vtime_s=%.3f\n",
+              static_cast<unsigned long long>(seq.stats.total_events),
+              static_cast<unsigned long long>(seq.stats.num_windows),
+              to_seconds(seq.stats.end_vtime));
+  std::printf("ospf reconvergence (s):");
+  for (const double s : seq.ospf_reconverge_s) std::printf(" %.3f", s);
+  std::printf("\nbgp reconvergence (s):");
+  for (const auto& r : seq.bgp_reconverge) {
+    std::printf(" [at=%.1f settle=%.3f]", to_seconds(r.at), r.settle_s);
+  }
+  std::printf("\n");
+
+  if (!same_stats(seq.stats, thr.stats)) {
+    std::fprintf(stderr, "FAIL: RunStats differ between executors\n");
+    return 1;
+  }
+  if (seq.metrics_json != thr.metrics_json) {
+    std::fprintf(stderr,
+                 "FAIL: metrics JSON differs between executors\n--- seq\n"
+                 "%s\n--- thr\n%s\n",
+                 seq.metrics_json.c_str(), thr.metrics_json.c_str());
+    return 1;
+  }
+  if (seq.ospf_reconverge_s.empty()) {
+    std::fprintf(stderr, "FAIL: no OSPF reconvergence events recorded\n");
+    return 1;
+  }
+  std::printf("OK: executors bit-identical (%zu metrics bytes)\n",
+              seq.metrics_json.size());
+  return 0;
+}

@@ -54,11 +54,15 @@ int main(int argc, char** argv) {
   TrafficManager* mgr = &manager;
   sim.set_flow_complete([&completions, mgr](Engine& e, NetSim& s, FlowId f,
                                             NodeId src, NodeId dst,
-                                            std::uint32_t tag) {
-    completions.add(to_seconds(e.now()), 1.0);
+                                            std::uint32_t tag, bool failed) {
     if (auto* c = mgr->component(tag_kind(tag))) {
+      if (failed) {
+        c->on_flow_failed(e, s, f, src, dst, tag);
+        return;
+      }
       c->on_flow_complete(e, s, f, src, dst, tag);
     }
+    completions.add(to_seconds(e.now()), 1.0);
   });
 
   // Pick a busy-looking backbone link: the first router-router link

@@ -1,0 +1,151 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace massf {
+namespace {
+
+const char* kMetricNames[] = {
+    "massf.fault.link_down",      "massf.fault.link_up",
+    "massf.fault.router_crash",   "massf.fault.router_restore",
+    "massf.fault.loss_burst",     "massf.fault.bgp_reset",
+};
+
+constexpr double kReconvergeBounds[] = {0.01, 0.05, 0.1, 0.2, 0.5,
+                                        1.0,  2.0,  5.0, 10.0};
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Network& net, ForwardingPlane& fp,
+                             const FaultInjectorOptions& options)
+    : net_(&net), fp_(&fp), opts_(options) {
+  MASSF_CHECK(opts_.ospf_convergence_delay >= 0);
+}
+
+void FaultInjector::arm(Engine& engine, NetSim& sim,
+                        const FaultSchedule& schedule) {
+  MASSF_CHECK(sim_ == nullptr && "arm() may be called once");
+  sim_ = &sim;
+  controller_ = std::make_unique<FailoverController>(
+      *fp_, opts_.ospf_convergence_delay);
+  controller_->set_observer(
+      [this](SimTime applied_at, LinkId, bool, SimTime requested_at) {
+        ospf_reconverge_s_.push_back(to_seconds(applied_at - requested_at));
+      });
+  controller_->attach(engine);
+
+  const auto num_links = static_cast<LinkId>(net_->links.size());
+  for (const FaultEvent& e : schedule.events()) {
+    ++injected_;
+    ++count_[static_cast<std::size_t>(e.kind)];
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp: {
+        MASSF_CHECK(e.target >= 0 && e.target < num_links);
+        const NetLink& l = net_->links[static_cast<std::size_t>(e.target)];
+        const bool up = e.kind == FaultKind::kLinkUp;
+        if (net_->is_router(l.a) && net_->is_router(l.b)) {
+          // Routed link: data plane now, OSPF one convergence delay later.
+          if (up) {
+            controller_->restore_link(engine, sim, e.target, e.at);
+          } else {
+            controller_->fail_link(engine, sim, e.target, e.at);
+          }
+        } else {
+          // Host access link: no routing choice exists — pure data plane.
+          sim.schedule_link_state(engine, e.target, e.at, up);
+        }
+        break;
+      }
+      case FaultKind::kRouterCrash:
+      case FaultKind::kRouterRestore: {
+        MASSF_CHECK(net_->is_router(e.target));
+        const bool up = e.kind == FaultKind::kRouterRestore;
+        // The router itself blackholes (kEvNodeState, which also drops the
+        // crashed node's pending host app timers), and every incident
+        // interface goes down with it.
+        sim.schedule_node_state(engine, e.target, e.at, up);
+        for (const Network::Incidence& inc : net_->incident(e.target)) {
+          if (net_->is_router(inc.peer)) {
+            if (up) {
+              controller_->restore_link(engine, sim, inc.link, e.at);
+            } else {
+              controller_->fail_link(engine, sim, inc.link, e.at);
+            }
+          } else {
+            sim.schedule_link_state(engine, inc.link, e.at, up);
+          }
+        }
+        break;
+      }
+      case FaultKind::kLossBurst: {
+        MASSF_CHECK(e.target >= 0 && e.target < num_links);
+        sim.schedule_loss_state(engine, e.target, e.at, e.rate);
+        sim.schedule_loss_state(engine, e.target, e.at + e.duration, 0.0);
+        break;
+      }
+      case FaultKind::kBgpReset: {
+        MASSF_CHECK(speakers_ != nullptr &&
+                    "kBgpReset requires set_bgp() before arm()");
+        speakers_->schedule_session_reset(engine, sim, e.target, e.peer,
+                                          e.at, e.duration);
+        bgp_reconverge_.push_back({e.at, -1});
+        break;
+      }
+    }
+  }
+  std::sort(bgp_reconverge_.begin(), bgp_reconverge_.end(),
+            [](const BgpReconvergence& a, const BgpReconvergence& b) {
+              return a.at < b.at;
+            });
+
+  if (speakers_ != nullptr) {
+    engine.add_barrier_hook([this](Engine& eng, SimTime window_start) {
+      on_barrier(eng, window_start);
+    });
+  }
+}
+
+void FaultInjector::on_barrier(Engine&, SimTime) {
+  // Workers are quiescent at a barrier, so reading speaker state is safe;
+  // barriers fall at identical virtual times under both executors, so the
+  // samples — and the derived settle times — are deterministic.
+  const SimTime change = speakers_->last_change();
+  if (change <= last_bgp_change_seen_) return;
+  last_bgp_change_seen_ = change;
+  auto it = std::upper_bound(
+      bgp_reconverge_.begin(), bgp_reconverge_.end(), change,
+      [](SimTime t, const BgpReconvergence& r) { return t < r.at; });
+  if (it == bgp_reconverge_.begin()) return;  // pre-fault churn (origination)
+  --it;
+  it->settle_s = std::max(it->settle_s, to_seconds(change - it->at));
+}
+
+void FaultInjector::publish_metrics(obs::Registry& registry) const {
+  MASSF_CHECK(sim_ != nullptr && "publish_metrics() requires arm()");
+  registry.counter("massf.fault.injected").inc(injected_);
+  for (std::size_t k = 0; k < std::size(kMetricNames); ++k) {
+    registry.counter(kMetricNames[k]).inc(count_[k]);
+  }
+
+  const NetSim::Counters totals = sim_->totals();
+  registry.counter("massf.fault.packets_blackholed")
+      .inc(totals.dropped_link_down + totals.dropped_node_down +
+           totals.dropped_loss);
+  registry.counter("massf.fault.flows_abandoned").inc(totals.flows_failed);
+  registry.counter("massf.fault.app_timers_dropped")
+      .inc(totals.app_timers_dropped);
+
+  obs::Histogram& ospf =
+      registry.histogram("massf.fault.ospf_reconverge_s", kReconvergeBounds);
+  for (const double s : ospf_reconverge_s_) ospf.observe(s);
+  obs::Histogram& bgp =
+      registry.histogram("massf.fault.bgp_reconverge_s", kReconvergeBounds);
+  for (const BgpReconvergence& r : bgp_reconverge_) {
+    if (r.settle_s >= 0) bgp.observe(r.settle_s);
+  }
+}
+
+}  // namespace massf

@@ -1,0 +1,104 @@
+// Compiles a FaultSchedule into deterministic simulation events.
+//
+// The injector is armed once, before the run. Every fault is realized
+// through the engine's existing deterministic channels:
+//
+//   link down/up    -> FailoverController (data plane immediately, OSPF
+//                      reconvergence one convergence delay later, applied
+//                      at a window barrier)
+//   router crash    -> kEvNodeState blackhole at the router + all incident
+//                      links down (router-router links go through the
+//                      controller so OSPF reroutes; host access links are
+//                      pure data-plane)
+//   loss burst      -> kEvLossState on both directions of the link; drop
+//                      decisions hash a per-slot counter with the fault
+//                      seed, owned by the transmitting LP
+//   bgp reset       -> BgpSpeakers::schedule_session_reset
+//
+// Because everything is pre-scheduled or applied at barriers, a given
+// (schedule, seed) pair is bit-identical under the sequential and threaded
+// executors — the property the chaos_beacon harness asserts end to end.
+//
+// Reconvergence accounting (the massf.fault.v1 metrics schema, DESIGN.md
+// Section 5c):
+//   - OSPF: per applied link-state change, barrier-apply time minus the
+//     data-plane change time (observer on the FailoverController).
+//   - BGP: the injector samples BgpSpeakers::last_change() at every
+//     barrier; each observed route-table change is attributed to the
+//     latest BGP-visible fault at or before it, and that fault's settle
+//     time is the latest change attributed to it minus its start time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "routing/bgp_dynamic.hpp"
+#include "sim/failover.hpp"
+
+namespace massf {
+
+struct FaultInjectorOptions {
+  /// OSPF detection + flooding + SPF delay applied to every link-state
+  /// fault (the FailoverController's convergence delay).
+  SimTime ospf_convergence_delay = milliseconds(200);
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const Network& net, ForwardingPlane& fp,
+                const FaultInjectorOptions& options = {});
+
+  /// Optional: enables kBgpReset events and BGP reconvergence tracking.
+  void set_bgp(BgpSpeakers* speakers) { speakers_ = speakers; }
+
+  /// Compiles `schedule` into engine events and installs the barrier
+  /// hooks. Call once, before the run. Aborts on out-of-range targets or
+  /// a kBgpReset without set_bgp().
+  void arm(Engine& engine, NetSim& sim, const FaultSchedule& schedule);
+
+  // ---- post-run queries ---------------------------------------------------
+
+  std::uint64_t faults_injected() const { return injected_; }
+
+  /// Per applied OSPF change: reconvergence time in seconds.
+  const std::vector<double>& ospf_reconvergence_s() const {
+    return ospf_reconverge_s_;
+  }
+
+  /// Per BGP-visible fault event: (event time, settle seconds). Settle is
+  /// -1 when no route change was attributed to the event.
+  struct BgpReconvergence {
+    SimTime at = 0;
+    double settle_s = -1;
+  };
+  const std::vector<BgpReconvergence>& bgp_reconvergence() const {
+    return bgp_reconverge_;
+  }
+
+  /// Publishes the `massf.fault.*` metrics (schema massf.fault.v1):
+  /// injection counters per kind, packets blackholed, flows abandoned, and
+  /// the reconvergence histograms. Reads drop totals from the NetSim the
+  /// injector was armed with.
+  void publish_metrics(obs::Registry& registry) const;
+
+ private:
+  void on_barrier(Engine& engine, SimTime window_start);
+
+  const Network* net_;
+  ForwardingPlane* fp_;
+  FaultInjectorOptions opts_;
+  BgpSpeakers* speakers_ = nullptr;
+  NetSim* sim_ = nullptr;
+  std::unique_ptr<FailoverController> controller_;
+
+  std::uint64_t injected_ = 0;
+  std::uint64_t count_[6] = {};  ///< per FaultKind
+
+  std::vector<double> ospf_reconverge_s_;
+  std::vector<BgpReconvergence> bgp_reconverge_;  ///< sorted by .at
+  SimTime last_bgp_change_seen_ = -1;
+};
+
+}  // namespace massf

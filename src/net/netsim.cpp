@@ -24,6 +24,21 @@ SimTime service_time(std::uint32_t wire_bytes, double bandwidth_bps) {
   return from_seconds(static_cast<double>(wire_bytes) * 8.0 / bandwidth_bps);
 }
 
+/// splitmix64-style finalizer over (seed, slot, seq): the loss-burst drop
+/// decision depends only on values owned by the transmitting LP, so it is
+/// bit-identical under the sequential and threaded executors.
+std::uint64_t loss_hash(std::uint64_t seed, std::uint64_t slot,
+                        std::uint64_t seq) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (slot + 1) +
+                    0xbf58476d1ce4e5b9ULL * (seq + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 NetSim::NetSim(const Network& net, const ForwardingPlane& fp,
@@ -55,6 +70,9 @@ NetSim::NetSim(const Network& net, const ForwardingPlane& fp,
 
   iface_free_.assign(net.links.size() * 2, 0);
   iface_up_.assign(net.links.size() * 2, 1);
+  node_up_.assign(net.nodes.size(), 1);
+  loss_rate_ppm_.assign(net.links.size() * 2, 0);
+  loss_seq_.assign(net.links.size() * 2, 0);
   if (opts_.collect_link_stats) {
     link_bytes_.assign(net.links.size() * 2, 0);
   }
@@ -149,6 +167,26 @@ void NetSim::schedule_link_state(Engine& engine, LinkId link, SimTime when,
                   static_cast<std::uint64_t>(link) * 2 + 1, up ? 1 : 0);
 }
 
+void NetSim::schedule_node_state(Engine& engine, NodeId router, SimTime when,
+                                 bool up) {
+  MASSF_CHECK(net_->is_router(router));
+  engine.schedule(lp_of(router), when, kEvNodeState,
+                  static_cast<std::uint64_t>(router), up ? 1 : 0);
+}
+
+void NetSim::schedule_loss_state(Engine& engine, LinkId link, SimTime when,
+                                 double loss_rate) {
+  MASSF_CHECK(link >= 0 &&
+              link < static_cast<LinkId>(net_->links.size()));
+  MASSF_CHECK(loss_rate >= 0 && loss_rate < 1.0);
+  const auto ppm = static_cast<std::uint64_t>(loss_rate * 1e6);
+  const NetLink& l = net_->links[static_cast<std::size_t>(link)];
+  engine.schedule(lp_of(l.a), when, kEvLossState,
+                  static_cast<std::uint64_t>(link) * 2, ppm);
+  engine.schedule(lp_of(l.b), when, kEvLossState,
+                  static_cast<std::uint64_t>(link) * 2 + 1, ppm);
+}
+
 void NetSim::handle(Engine& engine, const Event& ev) {
   switch (ev.type) {
     case kEvArrive: {
@@ -167,6 +205,15 @@ void NetSim::handle(Engine& engine, const Event& ev) {
       break;
     case kEvAppTimer: {
       const auto host = static_cast<NodeId>(ev.a);
+      const NodeId ar =
+          net_->nodes[static_cast<std::size_t>(host)].attach_router;
+      if (ar != kInvalidNode && !node_up_[static_cast<std::size_t>(ar)]) {
+        // The host's attachment router crashed: the host is off the
+        // network, so its pending application events are dropped.
+        ++lp_state_[static_cast<std::size_t>(lp_of(host))]
+              .counters.app_timers_dropped;
+        break;
+      }
       count_node_event(host);
       if (on_app_timer_) on_app_timer_(engine, *this, host, ev.b, ev.c);
       break;
@@ -175,6 +222,15 @@ void NetSim::handle(Engine& engine, const Event& ev) {
       // The slot's state is owned by the transmitting endpoint's LP, which
       // is where this event was addressed.
       iface_up_[ev.a] = ev.b != 0;
+      break;
+    }
+    case kEvNodeState: {
+      // Addressed to the node's LP, which owns every read of this slot.
+      node_up_[ev.a] = ev.b != 0;
+      break;
+    }
+    case kEvLossState: {
+      loss_rate_ppm_[ev.a] = static_cast<std::uint32_t>(ev.b);
       break;
     }
     case kEvUdpSend: {
@@ -203,6 +259,16 @@ void NetSim::transmit(Engine& engine, NodeId from, LinkId link, Packet p) {
           .counters.dropped_link_down;
     return;
   }
+  if (const std::uint32_t rate = loss_rate_ppm_[slot]; rate > 0) {
+    // Loss/corruption burst: deterministic per-slot counter hash (the
+    // corrupted frame is dropped at ingress and consumes no bandwidth).
+    const std::uint64_t seq = loss_seq_[slot]++;
+    if (loss_hash(opts_.fault_seed, slot, seq) % 1000000u < rate) {
+      ++lp_state_[static_cast<std::size_t>(lp_of(from))]
+            .counters.dropped_loss;
+      return;
+    }
+  }
 
   const SimTime now = engine.now();
   const SimTime start = std::max(now, iface_free_[slot]);
@@ -229,6 +295,12 @@ void NetSim::transmit(Engine& engine, NodeId from, LinkId link, Packet p) {
 
 void NetSim::on_arrive(Engine& engine, const Packet& p) {
   const NodeId here = p.arrive;
+  if (!node_up_[static_cast<std::size_t>(here)]) {
+    // Crashed router: packets in flight toward it are blackholed.
+    ++lp_state_[static_cast<std::size_t>(lp_of(here))]
+          .counters.dropped_node_down;
+    return;
+  }
   if (here == p.dst) {
     deliver(engine, p);
     return;
@@ -289,7 +361,8 @@ void NetSim::on_data(Engine& engine, const Packet& p) {
     r.completed = true;
     ++state.counters.flows_completed;
     if (on_flow_complete_) {
-      on_flow_complete_(engine, *this, p.flow, r.src, r.dst, p.ack);
+      on_flow_complete_(engine, *this, p.flow, r.src, r.dst, p.ack,
+                        /*failed=*/false);
     }
   }
 }
@@ -341,6 +414,9 @@ void NetSim::send_segment(Engine& engine, TcpSender& s, FlowId flow,
 }
 
 void NetSim::send_available(Engine& engine, TcpSender& s, FlowId flow) {
+  // A cumulative ack can overtake a timeout-rewound next_seq (reordered
+  // pre-timeout acks); never re-send already-acked bytes.
+  if (s.next_seq < s.acked) s.next_seq = s.acked;
   while (s.next_seq < s.size) {
     const std::uint32_t len = std::min(kMss, s.size - s.next_seq);
     const std::uint32_t flight_after = s.next_seq + len - s.acked;
@@ -437,6 +513,10 @@ void NetSim::on_timeout(Engine& engine, FlowId flow, std::uint64_t epoch) {
     ++lp_state_[static_cast<std::size_t>(lp_of(s.src))]
           .counters.flows_failed;
     record_flow(flow, s, engine.now());
+    if (on_flow_complete_) {
+      on_flow_complete_(engine, *this, flow, s.src, s.dst, s.tag,
+                        /*failed=*/true);
+    }
     return;
   }
 
@@ -446,7 +526,12 @@ void NetSim::on_timeout(Engine& engine, FlowId flow, std::uint64_t epoch) {
   s.in_recovery = false;
   s.rtt_sent_at = -1;  // Karn
   s.rto = std::min<SimTime>(s.rto * 2, kMaxRto);  // exponential backoff
+  // Go-back-N: everything past the cumulative ack is presumed lost.
+  // Without the rewind, next_seq keeps the flight size inflated, so after
+  // a multi-segment loss the window never opens and the hole refills at
+  // one segment per (backed-off) RTO instead of ack-clocked slow start.
   send_segment(engine, s, flow, s.acked, /*count_retransmit=*/true);
+  s.next_seq = s.acked + std::min(kMss, s.size - s.acked);
   arm_timer(engine, s, flow);
 }
 
@@ -480,6 +565,9 @@ NetSim::Counters NetSim::totals() const {
     total.dropped_queue += st.counters.dropped_queue;
     total.dropped_no_route += st.counters.dropped_no_route;
     total.dropped_link_down += st.counters.dropped_link_down;
+    total.dropped_node_down += st.counters.dropped_node_down;
+    total.dropped_loss += st.counters.dropped_loss;
+    total.app_timers_dropped += st.counters.app_timers_dropped;
     total.retransmits += st.counters.retransmits;
     total.flows_started += st.counters.flows_started;
     total.flows_completed += st.counters.flows_completed;
@@ -497,6 +585,9 @@ void NetSim::publish_metrics(obs::Registry& registry) const {
   registry.counter("net.dropped_queue").inc(t.dropped_queue);
   registry.counter("net.dropped_no_route").inc(t.dropped_no_route);
   registry.counter("net.dropped_link_down").inc(t.dropped_link_down);
+  registry.counter("net.dropped_node_down").inc(t.dropped_node_down);
+  registry.counter("net.dropped_loss").inc(t.dropped_loss);
+  registry.counter("net.app_timers_dropped").inc(t.app_timers_dropped);
   registry.counter("net.retransmits").inc(t.retransmits);
   registry.counter("net.flows_started").inc(t.flows_started);
   registry.counter("net.flows_completed").inc(t.flows_completed);

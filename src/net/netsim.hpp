@@ -35,6 +35,8 @@ enum NetEventType : std::int32_t {
   kEvAppTimer = 4,    ///< a = host, b/c = user payload
   kEvUdpSend = 5,     ///< payload = encoded Packet (transmit from src host)
   kEvLinkState = 6,   ///< a = directed slot (link*2+dir), b = up (0/1)
+  kEvNodeState = 7,   ///< a = router id, b = up (0/1); crash/restore
+  kEvLossState = 8,   ///< a = directed slot, b = loss rate in ppm (0 = off)
 };
 
 struct NetSimOptions {
@@ -51,6 +53,11 @@ struct NetSimOptions {
   bool collect_link_stats = false;
   /// Record one FlowRecord per finished (completed or abandoned) TCP flow.
   bool collect_flow_records = false;
+  /// Seed for the deterministic loss-burst hash (fault injection). The drop
+  /// decision for a packet is a pure function of (seed, directed slot,
+  /// per-slot transmit counter), so it is bit-identical under both
+  /// executors.
+  std::uint64_t fault_seed = 1;
 };
 
 /// NetFlow-style record of one finished TCP flow.
@@ -75,10 +82,13 @@ struct FlowRecord {
 
 class NetSim {
  public:
-  /// Invoked on the receiver's LP when the last byte of a flow arrives.
+  /// Invoked when a flow finishes. `failed == false`: the last byte arrived
+  /// (runs on the receiver's LP). `failed == true`: the sender abandoned the
+  /// flow after tcp_max_consecutive_timeouts (runs on the sender's LP) —
+  /// applications see an explicit failure instead of a silently dying flow.
   using FlowCompleteFn = std::function<void(
       Engine&, NetSim&, FlowId flow, NodeId src_host, NodeId dst_host,
-      std::uint32_t tag)>;
+      std::uint32_t tag, bool failed)>;
   /// Invoked on the destination host's LP for each delivered datagram.
   using UdpReceiveFn =
       std::function<void(Engine&, NetSim&, const Packet& packet)>;
@@ -120,6 +130,23 @@ class NetSim {
   void schedule_link_state(Engine& engine, LinkId link, SimTime when,
                            bool up);
 
+  /// Fault injection: crashes (or restores) a router at virtual time
+  /// `when`. While down, packets arriving at the router are blackholed
+  /// (dropped_node_down) and app timers on its attached hosts are dropped
+  /// (the hosts are off the network). Incident interfaces are NOT touched
+  /// here — callers (the fault injector) down them with
+  /// schedule_link_state so the control plane can observe the withdrawals.
+  void schedule_node_state(Engine& engine, NodeId router, SimTime when,
+                           bool up);
+
+  /// Fault injection: sets the loss/corruption rate of `link` (both
+  /// directions) at virtual time `when`. While the rate is non-zero, each
+  /// packet offered to the link is dropped with that probability via a
+  /// deterministic counter-based hash (dropped_loss). Rate in [0, 1);
+  /// pass 0 to end a burst.
+  void schedule_loss_state(Engine& engine, LinkId link, SimTime when,
+                           double loss_rate);
+
   void set_flow_complete(FlowCompleteFn fn) { on_flow_complete_ = std::move(fn); }
   void set_udp_receive(UdpReceiveFn fn) { on_udp_ = std::move(fn); }
   void set_app_timer(AppTimerFn fn) { on_app_timer_ = std::move(fn); }
@@ -131,6 +158,9 @@ class NetSim {
     std::uint64_t dropped_queue = 0;  ///< drop-tail losses
     std::uint64_t dropped_no_route = 0;
     std::uint64_t dropped_link_down = 0;
+    std::uint64_t dropped_node_down = 0;  ///< blackholed at a crashed router
+    std::uint64_t dropped_loss = 0;       ///< loss/corruption-burst drops
+    std::uint64_t app_timers_dropped = 0;  ///< timers on crashed-router hosts
     std::uint64_t retransmits = 0;
     std::uint64_t flows_started = 0;
     std::uint64_t flows_completed = 0;
@@ -216,6 +246,13 @@ class NetSim {
   std::vector<SimTime> iface_free_;
   /// Interface administrative state (same indexing/ownership discipline).
   std::vector<char> iface_up_;
+  /// Node up/down state (router crash); slot owned by the node's LP.
+  std::vector<char> node_up_;
+  /// Loss-burst rate per directed interface in ppm (0 = no loss), and the
+  /// per-slot transmit counter feeding the deterministic drop hash. Both
+  /// follow the iface ownership discipline.
+  std::vector<std::uint32_t> loss_rate_ppm_;
+  std::vector<std::uint64_t> loss_seq_;
   /// Bytes carried per directed interface (same ownership discipline).
   std::vector<std::uint64_t> link_bytes_;
 

@@ -19,8 +19,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "traffic/manager.hpp"
 
@@ -30,6 +32,11 @@ struct AgentOptions {
   /// Virtual seconds advance at most (wall seconds) / slowdown. 0 disables
   /// pacing (run as fast as possible).
   double slowdown = 0;
+  /// A live transfer abandoned by TCP is retried up to this many times
+  /// before it is reported back to the application as failed.
+  std::uint32_t max_retries = 2;
+  /// Backoff before the first retry; doubles on each subsequent attempt.
+  double retry_backoff_s = 0.5;
 };
 
 class Agent final : public TrafficComponent {
@@ -55,7 +62,8 @@ class Agent final : public TrafficComponent {
     NodeId src_host = kInvalidNode;
     NodeId dst_host = kInvalidNode;
     std::uint32_t cookie = 0;
-    SimTime virtual_time = 0;  ///< when the last byte arrived
+    SimTime virtual_time = 0;  ///< when the last byte arrived (or gave up)
+    bool failed = false;  ///< transfer abandoned after max_retries attempts
   };
 
   /// Non-blocking poll for completed transfers.
@@ -68,22 +76,51 @@ class Agent final : public TrafficComponent {
   /// Virtual time of the latest window barrier (application-visible clock).
   SimTime virtual_now() const;
 
+  /// Degraded-mode callback: invoked on the coordinator thread at a window
+  /// barrier once a request has exhausted its retries, just before the
+  /// failed Delivery is queued. `virtual_time` is the barrier time.
+  using DegradedFn = std::function<void(const SendRequest&, SimTime)>;
+  void set_degraded(DegradedFn fn) { degraded_ = std::move(fn); }
+
+  /// Retries attempted / requests abandoned (for tests and metrics).
+  std::uint64_t retries() const;
+  std::uint64_t requests_failed() const;
+
   // ---- TrafficComponent (engine side) ------------------------------------
   void start(Engine& engine, NetSim& sim) override;
   void on_flow_complete(Engine& engine, NetSim& sim, FlowId flow,
                         NodeId src_host, NodeId dst_host,
                         std::uint32_t tag) override;
+  /// TCP abandoned the flow: queue a retry with exponential backoff (or a
+  /// failed Delivery once retries are exhausted). Runs on the sender's LP.
+  void on_flow_failed(Engine& engine, NetSim& sim, FlowId flow,
+                      NodeId src_host, NodeId dst_host,
+                      std::uint32_t tag) override;
+  void publish_metrics(obs::Registry& registry) const override;
 
  private:
+  struct InFlight {
+    SendRequest req;
+    std::uint32_t attempts = 0;  ///< transmissions started so far
+  };
+  struct Retry {
+    SimTime not_before;
+    std::uint32_t idx;  ///< in_flight_ index
+  };
+
   void on_barrier(Engine& engine, SimTime window_start);
 
   AgentOptions opts_;
   NetSim* sim_ = nullptr;
+  DegradedFn degraded_;
 
   mutable std::mutex mu_;
   std::deque<SendRequest> inbox_;
   std::deque<Delivery> outbox_;
-  std::vector<SendRequest> in_flight_;  // cookie payload -> request
+  std::vector<InFlight> in_flight_;  // tag payload -> request + attempts
+  std::vector<Retry> retry_queue_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failed_ = 0;
   SimTime virtual_now_ = 0;
 
   std::chrono::steady_clock::time_point wall_start_;

@@ -24,7 +24,9 @@ std::uint32_t batch_tag_payload(AsId sender, std::size_t index) {
 // Timer payload: code (high 8 of the 56 payload bits) | AS id.
 constexpr std::uint64_t kTimerOriginate = 1;
 constexpr std::uint64_t kTimerBeacon = 2;
-constexpr std::uint64_t kTimerMrai = 3;  // c = neighbor index
+constexpr std::uint64_t kTimerMrai = 3;         // c = neighbor index
+constexpr std::uint64_t kTimerSessionDown = 4;  // c = peer AS
+constexpr std::uint64_t kTimerSessionUp = 5;    // c = peer AS
 
 std::uint64_t timer_code(std::uint64_t code, AsId as) {
   return (code << 32) | static_cast<std::uint32_t>(as);
@@ -83,6 +85,8 @@ BgpSpeakers::BgpSpeakers(const Network& net, std::vector<NodeId> speaker_hosts,
     s.pending.resize(nn);
     s.next_send_ok.assign(nn, 0);
     s.mrai_timer_armed.assign(nn, 0);
+    s.session_up.assign(nn, 1);
+    s.session_epoch.assign(nn, 0);
     channels_[static_cast<std::size_t>(a)] = std::make_unique<Channel>();
     host_as_[static_cast<std::size_t>(a)] = a;
   }
@@ -127,6 +131,10 @@ void BgpSpeakers::on_timer(Engine& engine, NetSim& sim, NodeId host,
     MASSF_CHECK(ni < s.neighbors.size());
     s.mrai_timer_armed[ni] = 0;
     flush(engine, sim, as);
+  } else if (code == kTimerSessionDown) {
+    session_down(engine, sim, as, static_cast<AsId>(c));
+  } else if (code == kTimerSessionUp) {
+    session_restore(engine, sim, as, static_cast<AsId>(c));
   } else {
     MASSF_CHECK(false && "unknown BGP timer");
   }
@@ -165,14 +173,39 @@ void BgpSpeakers::on_flow_complete(Engine& engine, NetSim& sim, FlowId,
   MASSF_CHECK(it != speaker_hosts_.end());
   const auto me = static_cast<AsId>(it - speaker_hosts_.begin());
 
-  std::vector<BgpDynUpdate> batch;
+  Batch batch;
   {
     Channel& ch = *channels_[static_cast<std::size_t>(sender)];
     std::lock_guard<std::mutex> lock(ch.mu);
     MASSF_CHECK(index < ch.batches.size());
     batch = ch.batches[index];  // copy under the lock
   }
-  process_batch(engine, sim, me, sender, batch);
+
+  // Session-epoch filter: a batch sent before a session teardown may still
+  // be in flight when the session comes back — it belongs to the previous
+  // incarnation and must not pollute the fresh adj-RIB-in. Both endpoints
+  // bump their epoch at the same virtual teardown instant, so the sender's
+  // stamp and the receiver's expectation agree exactly when no reset
+  // happened in between. Batches arriving while the session is down are
+  // likewise discarded.
+  Speaker& s = speakers_[static_cast<std::size_t>(me)];
+  const auto ni = static_cast<std::size_t>(neighbor_index(me, sender));
+  if (!s.session_up[ni] || batch.epoch != s.session_epoch[ni]) {
+    ++s.stale_batches;
+    return;
+  }
+  process_batch(engine, sim, me, sender, batch.updates);
+}
+
+void BgpSpeakers::on_flow_failed(Engine&, NetSim&, FlowId, NodeId src_host,
+                                 NodeId, std::uint32_t) {
+  // The batch never arrived; TCP gave up (path dead longer than its
+  // patience). Runs on the sender's LP, so the sender's counter is safe.
+  const auto it = std::find(speaker_hosts_.begin(), speaker_hosts_.end(),
+                            src_host);
+  MASSF_CHECK(it != speaker_hosts_.end());
+  const auto me = static_cast<AsId>(it - speaker_hosts_.begin());
+  ++speakers_[static_cast<std::size_t>(me)].update_flows_failed;
 }
 
 void BgpSpeakers::process_batch(Engine& engine, NetSim& sim, AsId me,
@@ -305,6 +338,9 @@ void BgpSpeakers::flush(Engine& engine, NetSim& sim, AsId me) {
   Speaker& s = speakers_[static_cast<std::size_t>(me)];
   for (std::size_t i = 0; i < s.neighbors.size(); ++i) {
     if (s.pending[i].empty()) continue;
+    // No transport while the session is down; pending updates keep
+    // batching and are superseded by the full refresh at re-establishment.
+    if (!s.session_up[i]) continue;
     // MRAI: within the hold-down, defer (and batch further updates) until
     // the per-session timer fires.
     if (opts_.mrai > 0 && engine.now() < s.next_send_ok[i]) {
@@ -319,9 +355,10 @@ void BgpSpeakers::flush(Engine& engine, NetSim& sim, AsId me) {
       continue;
     }
     s.next_send_ok[i] = engine.now() + opts_.mrai;
-    std::vector<BgpDynUpdate> batch;
-    batch.swap(s.pending[i]);
-    const std::size_t count = batch.size();
+    Batch batch;
+    batch.epoch = s.session_epoch[i];
+    batch.updates.swap(s.pending[i]);
+    const std::size_t count = batch.updates.size();
     s.updates_sent += count;
     ++s.batches_sent;
 
@@ -340,6 +377,95 @@ void BgpSpeakers::flush(Engine& engine, NetSim& sim, AsId me) {
                        s.neighbors[i].as)],
                    bytes, make_tag(TrafficKind::kBgp,
                                    batch_tag_payload(me, index)));
+  }
+}
+
+void BgpSpeakers::session_down(Engine& engine, NetSim& sim, AsId me,
+                               AsId peer) {
+  Speaker& s = speakers_[static_cast<std::size_t>(me)];
+  const auto ni = static_cast<std::size_t>(neighbor_index(me, peer));
+  const std::size_t nn = s.neighbors.size();
+  ++s.session_resets;
+  s.session_up[ni] = 0;
+  ++s.session_epoch[ni];
+  // Everything we had queued or announced toward the peer is void — its
+  // RIB from us dies with the session (it performs the same teardown).
+  s.pending[ni].clear();
+  // Flush the adj-RIB-in learned from the peer and reselect the prefixes
+  // it carried; resulting withdrawals propagate to the other neighbors.
+  std::vector<AsId> touched;
+  for (AsId dest = 0; dest < num_as_; ++dest) {
+    s.rib_out[static_cast<std::size_t>(dest) * nn + ni] = 0;
+    Candidate& cand = s.rib_in[static_cast<std::size_t>(dest) * nn + ni];
+    if (!cand.valid) continue;
+    cand.valid = false;
+    cand.path.clear();
+    touched.push_back(dest);
+  }
+  for (AsId dest : touched) reselect(engine, sim, me, dest);
+  flush(engine, sim, me);
+}
+
+void BgpSpeakers::session_restore(Engine& engine, NetSim& sim, AsId me,
+                                  AsId peer) {
+  Speaker& s = speakers_[static_cast<std::size_t>(me)];
+  const auto ni = static_cast<std::size_t>(neighbor_index(me, peer));
+  const std::size_t nn = s.neighbors.size();
+  s.session_up[ni] = 1;
+  // Full-table re-advertisement toward the peer, as a real speaker does
+  // after session establishment: re-derive the export decision for every
+  // prefix from the current best routes, superseding whatever batched up
+  // while the session was down.
+  s.pending[ni].clear();
+  for (AsId dest = 0; dest < num_as_; ++dest) {
+    const bool is_local = dest == me;
+    const bool have_route =
+        is_local ? s.originated : s.best[static_cast<std::size_t>(dest)] >= 0;
+    AsRel learned_from = AsRel::kCustomer;
+    if (!is_local && have_route) {
+      learned_from =
+          s.neighbors[static_cast<std::size_t>(
+                          s.best[static_cast<std::size_t>(dest)])]
+              .rel;
+    }
+    char& out = s.rib_out[static_cast<std::size_t>(dest) * nn + ni];
+    if (have_route &&
+        bgp_exportable(is_local, learned_from, s.neighbors[ni].rel)) {
+      BgpDynUpdate u;
+      u.dest = dest;
+      u.withdraw = false;
+      if (is_local) {
+        u.path = {me};
+      } else {
+        u.path = s.best_path[static_cast<std::size_t>(dest)];
+      }
+      s.pending[ni].push_back(std::move(u));
+      out = 1;
+    } else {
+      out = 0;
+    }
+  }
+  flush(engine, sim, me);
+}
+
+void BgpSpeakers::schedule_session_reset(Engine& engine, NetSim& sim,
+                                         AsId as, AsId peer, SimTime when,
+                                         SimTime reestablish_after) {
+  MASSF_CHECK(as >= 0 && as < num_as_ && peer >= 0 && peer < num_as_);
+  MASSF_CHECK(reestablish_after > 0);
+  neighbor_index(as, peer);  // CHECKs AS adjacency in both directions
+  neighbor_index(peer, as);
+  const AsId ends[2][2] = {{as, peer}, {peer, as}};
+  for (const auto& e : ends) {
+    sim.schedule_app_timer(
+        engine, speaker_hosts_[static_cast<std::size_t>(e[0])], when,
+        make_timer(TrafficKind::kBgp, timer_code(kTimerSessionDown, e[0])),
+        /*c=*/static_cast<std::uint64_t>(e[1]));
+    sim.schedule_app_timer(
+        engine, speaker_hosts_[static_cast<std::size_t>(e[0])],
+        when + reestablish_after,
+        make_timer(TrafficKind::kBgp, timer_code(kTimerSessionUp, e[0])),
+        /*c=*/static_cast<std::uint64_t>(e[1]));
   }
 }
 
@@ -395,12 +521,33 @@ std::uint64_t BgpSpeakers::route_changes() const {
   return total;
 }
 
+std::uint64_t BgpSpeakers::session_resets() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.session_resets;
+  return total;
+}
+
+std::uint64_t BgpSpeakers::stale_batches_dropped() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.stale_batches;
+  return total;
+}
+
+std::uint64_t BgpSpeakers::update_flows_failed() const {
+  std::uint64_t total = 0;
+  for (const Speaker& s : speakers_) total += s.update_flows_failed;
+  return total;
+}
+
 void BgpSpeakers::publish_metrics(obs::Registry& registry) const {
   registry.counter("bgp.updates_sent").inc(updates_sent());
   registry.counter("bgp.batches_sent").inc(batches_sent());
   registry.counter("bgp.announcements_rx").inc(announcements_received());
   registry.counter("bgp.withdrawals_rx").inc(withdrawals_received());
   registry.counter("bgp.route_changes").inc(route_changes());
+  registry.counter("bgp.session_resets").inc(session_resets());
+  registry.counter("bgp.stale_batches").inc(stale_batches_dropped());
+  registry.counter("bgp.update_flows_failed").inc(update_flows_failed());
   registry.gauge("bgp.last_change_vtime_s").set(to_seconds(last_change()));
 }
 

@@ -64,6 +64,12 @@ class BgpSpeakers final : public TrafficComponent {
   void on_flow_complete(Engine& engine, NetSim& sim, FlowId flow,
                         NodeId src_host, NodeId dst_host,
                         std::uint32_t tag) override;
+  /// An UPDATE batch flow abandoned by TCP (possible under fault
+  /// injection). The batch is lost; the session-reset machinery is the
+  /// mechanism for recovering the lost state.
+  void on_flow_failed(Engine& engine, NetSim& sim, FlowId flow,
+                      NodeId src_host, NodeId dst_host,
+                      std::uint32_t tag) override;
   void on_timer(Engine& engine, NetSim& sim, NodeId host,
                 std::uint64_t payload, std::uint64_t c) override;
 
@@ -110,6 +116,28 @@ class BgpSpeakers final : public TrafficComponent {
   void schedule_beacon(Engine& engine, NetSim& sim, AsId beacon_as,
                        SimTime start, SimTime period, std::int32_t toggles);
 
+  /// BGP session reset between `as` and `peer` (must be AS-adjacent): at
+  /// `when` both endpoints tear the session down — each flushes the
+  /// adj-RIB-in learned from the other (withdrawing routes through it and
+  /// propagating the withdrawals), clears pending/adj-RIB-out state toward
+  /// it, and bumps the per-session epoch so in-flight UPDATE batches from
+  /// the old incarnation are discarded on arrival. At
+  /// `when + reestablish_after` the session comes back and each side
+  /// re-advertises its full table to the other, as a real speaker does
+  /// after session establishment. Call before the run.
+  void schedule_session_reset(Engine& engine, NetSim& sim, AsId as,
+                              AsId peer, SimTime when,
+                              SimTime reestablish_after);
+
+  // ---- fault counters (summed over speakers) ------------------------------
+
+  /// Session endpoint teardowns (2 per schedule_session_reset call).
+  std::uint64_t session_resets() const;
+  /// UPDATE batches discarded because their session epoch was stale.
+  std::uint64_t stale_batches_dropped() const;
+  /// UPDATE batch flows abandoned by TCP.
+  std::uint64_t update_flows_failed() const;
+
  private:
   struct Candidate {
     bool valid = false;
@@ -134,21 +162,34 @@ class BgpSpeakers final : public TrafficComponent {
     /// deferred-flush timer is outstanding.
     std::vector<SimTime> next_send_ok;
     std::vector<char> mrai_timer_armed;
+    /// Session state per neighbor: up/down, plus an epoch bumped on every
+    /// teardown. Batches are stamped with the sender's epoch; the receiver
+    /// drops batches whose epoch predates its own — in-flight updates from
+    /// a torn-down session incarnation must not pollute the new one.
+    std::vector<char> session_up;
+    std::vector<std::uint32_t> session_epoch;
     // Statistics, owned by this speaker's LP (summed by the getters).
     std::uint64_t updates_sent = 0;
     std::uint64_t batches_sent = 0;
     std::uint64_t announce_rx = 0;
     std::uint64_t withdraw_rx = 0;
     std::uint64_t route_changes = 0;
+    std::uint64_t session_resets = 0;
+    std::uint64_t stale_batches = 0;
+    std::uint64_t update_flows_failed = 0;
     SimTime last_change = -1;
   };
 
   // Batches in flight between speakers. Written by the sender's LP, read
   // by the receiver's LP after the window barrier; the mutex makes the
   // cross-thread access well-defined under the threaded executor.
+  struct Batch {
+    std::uint32_t epoch = 0;  ///< sender's session epoch at send time
+    std::vector<BgpDynUpdate> updates;
+  };
   struct Channel {
     std::mutex mu;
-    std::deque<std::vector<BgpDynUpdate>> batches;
+    std::deque<Batch> batches;
     std::size_t consumed = 0;
   };
 
@@ -162,6 +203,10 @@ class BgpSpeakers final : public TrafficComponent {
   void reselect(Engine& engine, NetSim& sim, AsId me, AsId dest);
   void queue_export(AsId me, AsId dest);
   void flush(Engine& engine, NetSim& sim, AsId me);
+  /// Session teardown at `me`'s end: drop RIB-in from `peer`, reselect.
+  void session_down(Engine& engine, NetSim& sim, AsId me, AsId peer);
+  /// Session re-establishment at `me`'s end: full-table re-advertisement.
+  void session_restore(Engine& engine, NetSim& sim, AsId me, AsId peer);
 
   const Network* net_;
   std::vector<NodeId> speaker_hosts_;

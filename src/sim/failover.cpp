@@ -21,7 +21,7 @@ void FailoverController::attach(Engine& engine) {
 void FailoverController::schedule(Engine& engine, NetSim& sim, LinkId link,
                                   SimTime when, bool up) {
   sim.schedule_link_state(engine, link, when, up);
-  pending_.push_back({when + delay_, link, up});
+  pending_.push_back({when + delay_, link, up, when});
   std::sort(pending_.begin(), pending_.end(),
             [](const Pending& a, const Pending& b) { return a.at < b.at; });
 }
@@ -39,8 +39,10 @@ void FailoverController::restore_link(Engine& engine, NetSim& sim,
 void FailoverController::on_barrier(Engine&, SimTime window_start) {
   bool any = false;
   while (!pending_.empty() && pending_.front().at <= window_start) {
-    fp_->set_link_state(pending_.front().link, pending_.front().up);
+    const Pending p = pending_.front();
+    fp_->set_link_state(p.link, p.up);
     pending_.erase(pending_.begin());
+    if (observer_) observer_(window_start, p.link, p.up, p.requested_at);
     any = true;
   }
   if (any) {

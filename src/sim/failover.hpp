@@ -12,6 +12,7 @@
 // global state updates.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "net/netsim.hpp"
@@ -37,11 +38,20 @@ class FailoverController {
   /// Number of reconvergence (table-rebuild) events applied so far.
   std::int32_t reconvergences() const { return reconvergences_; }
 
+  /// Observer invoked (from the barrier hook) once per applied change:
+  /// `applied_at` is the window start at which the tables were rebuilt,
+  /// `requested_at` the data-plane change time — their difference is the
+  /// per-event routing reconvergence time the fault injector reports.
+  using ObserverFn = std::function<void(SimTime applied_at, LinkId link,
+                                        bool up, SimTime requested_at)>;
+  void set_observer(ObserverFn fn) { observer_ = std::move(fn); }
+
  private:
   struct Pending {
     SimTime at;
     LinkId link;
     bool up;
+    SimTime requested_at;
   };
 
   void schedule(Engine& engine, NetSim& sim, LinkId link, SimTime when,
@@ -52,6 +62,7 @@ class FailoverController {
   SimTime delay_;
   std::vector<Pending> pending_;  ///< touched pre-run and from the hook only
   std::int32_t reconvergences_ = 0;
+  ObserverFn observer_;
 };
 
 }  // namespace massf

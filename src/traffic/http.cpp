@@ -97,6 +97,20 @@ void HttpWorkload::on_flow_complete(Engine& engine, NetSim& sim, FlowId flow,
       make_timer(TrafficKind::kHttp, client_idx));
 }
 
+void HttpWorkload::on_flow_failed(Engine& engine, NetSim& sim, FlowId,
+                                  NodeId, NodeId, std::uint32_t tag) {
+  // This runs on the *sender's* LP — the server's for a failed response —
+  // so the client's Rng must not be touched; use a fixed backoff instead.
+  // The lookahead floor keeps the cross-LP schedule contract satisfied.
+  const auto client_idx = tag_payload(tag) & ~kResponseBit;
+  MASSF_CHECK(client_idx < clients_.size());
+  const SimTime backoff = std::max(from_seconds(opts_.think_time_mean_s),
+                                   engine.options().lookahead);
+  sim.schedule_app_timer(engine, clients_[client_idx].host,
+                         engine.now() + backoff,
+                         make_timer(TrafficKind::kHttp, client_idx));
+}
+
 std::uint64_t HttpWorkload::requests_issued() const {
   std::uint64_t total = 0;
   for (const Client& c : clients_) total += c.requests;

@@ -31,6 +31,11 @@ class HttpWorkload final : public TrafficComponent {
   void on_flow_complete(Engine& engine, NetSim& sim, FlowId flow,
                         NodeId src_host, NodeId dst_host,
                         std::uint32_t tag) override;
+  /// Graceful degradation: a failed request or response restarts the
+  /// client's think cycle instead of wedging it forever.
+  void on_flow_failed(Engine& engine, NetSim& sim, FlowId flow,
+                      NodeId src_host, NodeId dst_host,
+                      std::uint32_t tag) override;
   void on_timer(Engine& engine, NetSim& sim, NodeId host,
                 std::uint64_t payload, std::uint64_t c) override;
 

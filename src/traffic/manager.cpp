@@ -6,6 +6,8 @@ namespace massf {
 
 void TrafficComponent::on_flow_complete(Engine&, NetSim&, FlowId, NodeId,
                                         NodeId, std::uint32_t) {}
+void TrafficComponent::on_flow_failed(Engine&, NetSim&, FlowId, NodeId,
+                                      NodeId, std::uint32_t) {}
 void TrafficComponent::on_timer(Engine&, NetSim&, NodeId, std::uint64_t,
                                 std::uint64_t) {}
 void TrafficComponent::on_udp(Engine&, NetSim&, const Packet&) {}
@@ -13,9 +15,14 @@ void TrafficComponent::publish_metrics(obs::Registry&) const {}
 
 TrafficManager::TrafficManager(NetSim& sim) {
   sim.set_flow_complete([this](Engine& engine, NetSim& s, FlowId flow,
-                               NodeId src, NodeId dst, std::uint32_t tag) {
+                               NodeId src, NodeId dst, std::uint32_t tag,
+                               bool failed) {
     if (auto* c = component(tag_kind(tag))) {
-      c->on_flow_complete(engine, s, flow, src, dst, tag);
+      if (failed) {
+        c->on_flow_failed(engine, s, flow, src, dst, tag);
+      } else {
+        c->on_flow_complete(engine, s, flow, src, dst, tag);
+      }
     }
   });
   sim.set_app_timer([this](Engine& engine, NetSim& s, NodeId host,

@@ -66,6 +66,12 @@ class TrafficComponent {
   virtual void on_flow_complete(Engine& engine, NetSim& sim, FlowId flow,
                                 NodeId src_host, NodeId dst_host,
                                 std::uint32_t tag);
+  /// The sender abandoned the flow (path dead past the TCP retry bound).
+  /// Runs on the *sender's* LP — implementations must only touch state
+  /// owned by that LP, or defer to a timer/barrier. Default: ignore.
+  virtual void on_flow_failed(Engine& engine, NetSim& sim, FlowId flow,
+                              NodeId src_host, NodeId dst_host,
+                              std::uint32_t tag);
   virtual void on_timer(Engine& engine, NetSim& sim, NodeId host,
                         std::uint64_t payload, std::uint64_t c);
   virtual void on_udp(Engine& engine, NetSim& sim, const Packet& packet);

@@ -222,6 +222,91 @@ TEST(BgpDynamic, MraiReducesMessageCountAndSlowsConvergence) {
   EXPECT_GT(damped.second, fast.second);
 }
 
+TEST(BgpDynamic, SessionResetWithdrawsWhileDown) {
+  // End the run while the session is still torn down: neither endpoint may
+  // route via the other, and prefixes whose only path crossed the session
+  // are withdrawn network-wide.
+  Fixture f(10, 5, 1, seconds(14));
+  // Pick an adjacency that actually carries traffic in the fixed point.
+  BgpSolver solver(f.net.num_as(), f.net.as_adjacency);
+  solver.solve();
+  AsId as_a = -1, as_b = -1;
+  for (const AsAdjacency& adj : f.net.as_adjacency) {
+    for (AsId dest = 0; dest < f.net.num_as(); ++dest) {
+      if (solver.route(adj.as_a, dest).next_hop_as == adj.as_b) {
+        as_a = adj.as_a;
+        as_b = adj.as_b;
+        break;
+      }
+    }
+    if (as_a >= 0) break;
+  }
+  ASSERT_GE(as_a, 0) << "no adjacency carries a best route";
+
+  // Down at 10 s; the 60 s re-establishment is beyond the horizon.
+  f.speakers->schedule_session_reset(*f.engine, *f.sim, as_a, as_b,
+                                     seconds(10), seconds(60));
+  f.run();
+  EXPECT_EQ(f.speakers->session_resets(), 2u);
+  for (AsId dest = 0; dest < f.net.num_as(); ++dest) {
+    EXPECT_NE(f.speakers->best_route(as_a, dest).next_hop_as, as_b)
+        << "AS " << as_a << " still routes to " << dest << " via the peer";
+    EXPECT_NE(f.speakers->best_route(as_b, dest).next_hop_as, as_a)
+        << "AS " << as_b << " still routes to " << dest << " via the peer";
+  }
+}
+
+TEST(BgpDynamic, SessionResetReconvergesToStaticSolver) {
+  // Down at 10 s, re-established at 15 s; by the horizon the full-table
+  // re-advertisement must restore the static solver's fixed point exactly,
+  // and any in-flight batch from the old session incarnation must have
+  // been discarded rather than replayed into the fresh RIB.
+  Fixture f(10, 5, 1, seconds(120));
+  const AsAdjacency& adj = f.net.as_adjacency.front();
+  f.speakers->schedule_session_reset(*f.engine, *f.sim, adj.as_a, adj.as_b,
+                                     seconds(10), seconds(5));
+  f.run();
+  EXPECT_EQ(f.speakers->session_resets(), 2u);
+  EXPECT_GT(f.speakers->last_change(), seconds(10));
+  BgpSolver solver(f.net.num_as(), f.net.as_adjacency);
+  solver.solve();
+  for (AsId a = 0; a < f.net.num_as(); ++a) {
+    for (AsId b = 0; b < f.net.num_as(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(f.speakers->best_route(a, b).next_hop_as,
+                solver.route(a, b).next_hop_as)
+          << a << "->" << b;
+      if (solver.route(a, b).next_hop_as >= 0) {
+        EXPECT_EQ(f.speakers->as_path(a, b), solver.as_path(a, b))
+            << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(BgpDynamic, SessionResetBitIdenticalAcrossExecutors) {
+  const auto run_once = [](bool threaded) {
+    Fixture f(10, 7, /*lps=*/2, seconds(120));
+    const AsAdjacency& adj = f.net.as_adjacency.front();
+    f.speakers->schedule_session_reset(*f.engine, *f.sim, adj.as_a,
+                                       adj.as_b, seconds(10), seconds(5));
+    f.run(threaded);
+    std::vector<std::int64_t> sig;
+    for (AsId a = 0; a < f.net.num_as(); ++a) {
+      for (AsId b = 0; b < f.net.num_as(); ++b) {
+        sig.push_back(f.speakers->best_route(a, b).next_hop_as);
+        sig.push_back(f.speakers->last_change_for(a, b));
+      }
+    }
+    sig.push_back(static_cast<std::int64_t>(f.speakers->updates_sent()));
+    sig.push_back(
+        static_cast<std::int64_t>(f.speakers->stale_batches_dropped()));
+    sig.push_back(f.speakers->last_change());
+    return sig;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
 TEST(BgpDynamic, ConvergenceTimeReasonable) {
   Fixture f(12, 5);
   f.run();

@@ -166,7 +166,7 @@ TEST(NetSim, SingleFlowCompletes) {
   std::uint32_t completions = 0;
   std::uint32_t observed_tag = 0;
   f.sim->set_flow_complete([&](Engine&, NetSim&, FlowId, NodeId src,
-                               NodeId dst, std::uint32_t tag) {
+                               NodeId dst, std::uint32_t tag, bool) {
     ++completions;
     observed_tag = tag;
     EXPECT_EQ(src, 4);
@@ -191,7 +191,7 @@ TEST(NetSim, LossyLinkRecoversViaRetransmission) {
   Fixture f({0, 0, 0, 0}, milliseconds(1), 4 * 1024);
   std::uint32_t completions = 0;
   f.sim->set_flow_complete(
-      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
       });
   f.sim->start_flow(*f.engine, milliseconds(1), 4, 5, 500000, 1);
@@ -238,7 +238,7 @@ TEST(NetSim, CrossLpFlowRespectsLookahead) {
   Fixture f({0, 0, 1, 1});
   std::uint32_t completions = 0;
   f.sim->set_flow_complete(
-      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
       });
   f.sim->start_flow(*f.engine, milliseconds(1), 4, 5, 50000, 1);
@@ -254,7 +254,7 @@ TEST(NetSim, ThreadedMatchesSequential) {
     Fixture f({0, 0, 1, 1});
     std::uint64_t completions = 0;
     f.sim->set_flow_complete(
-        [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+        [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
           ++completions;
         });
     f.sim->start_flow(*f.engine, milliseconds(1), 4, 5, 200000, 1);
@@ -291,7 +291,7 @@ TEST(NetSim, BidirectionalFlowsShareLinks) {
   Fixture f({0, 0, 0, 0});
   std::uint32_t completions = 0;
   f.sim->set_flow_complete(
-      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
       });
   f.sim->start_flow(*f.engine, milliseconds(1), 4, 5, 300000, 1);
@@ -304,7 +304,7 @@ TEST(NetSim, ManyConcurrentFlowsAllComplete) {
   Fixture f({0, 0, 1, 1});
   std::uint32_t completions = 0;
   f.sim->set_flow_complete(
-      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
       });
   for (int i = 0; i < 20; ++i) {
@@ -324,7 +324,7 @@ TEST(NetSim, LinkFlapFlowStillCompletes) {
   std::uint32_t completions = 0;
   SimTime completed_at = -1;
   f.sim->set_flow_complete(
-      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
         completed_at = e.now();
       });
@@ -345,15 +345,24 @@ TEST(NetSim, PermanentOutageAbandonsFlow) {
   Fixture f({0, 0, 0, 0}, milliseconds(1), 256.0 * 1024, milliseconds(1),
             1e8, seconds(300));
   std::uint32_t completions = 0;
+  std::uint32_t failures = 0;
   f.sim->set_flow_complete(
-      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
-        ++completions;
+      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t,
+          bool failed) {
+        if (failed) {
+          ++failures;
+        } else {
+          ++completions;
+        }
       });
   f.sim->schedule_link_state(*f.engine, 1, milliseconds(10), false);
   f.sim->start_flow(*f.engine, milliseconds(20), 4, 5, 100000, 1);
   const RunStats stats = f.engine->run();
   const auto c = f.sim->totals();
+  // Abandonment surfaces through the completion callback with
+  // failed=true, on the sender's LP.
   EXPECT_EQ(completions, 0u);
+  EXPECT_EQ(failures, 1u);
   EXPECT_EQ(c.flows_failed, 1u);
   // The give-up bound also bounds the event count: no retransmission
   // chatter to the horizon.
@@ -395,7 +404,7 @@ TEST_P(TcpSweep, ReliableDeliveryWithinPhysicalBounds) {
   std::uint32_t completions = 0;
   SimTime completed_at = -1;
   f.sim->set_flow_complete(
-      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
         completed_at = e.now();
       });
@@ -443,7 +452,7 @@ TEST(NetSim, ThroughputBoundedByBandwidth) {
             1e7, seconds(60));
   SimTime completed_at = -1;
   f.sim->set_flow_complete(
-      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         completed_at = e.now();
       });
   f.sim->start_flow(*f.engine, milliseconds(1), 4, 5, 1000000, 1);

@@ -16,7 +16,8 @@ namespace {
 
 struct Fixture {
   explicit Fixture(const AgentOptions& ao = AgentOptions{},
-                   SimTime end = seconds(30)) {
+                   SimTime end = seconds(30),
+                   const NetSimOptions& no = NetSimOptions{}) {
     BriteOptions o;
     o.num_routers = 30;
     o.num_hosts = 6;
@@ -35,7 +36,7 @@ struct Fixture {
     eo.end_time = end;
     engine = std::make_unique<Engine>(eo);
     const std::vector<LpId> map(static_cast<std::size_t>(net.num_routers), 0);
-    sim = std::make_unique<NetSim>(net, *fp, map, *engine, NetSimOptions{});
+    sim = std::make_unique<NetSim>(net, *fp, map, *engine, no);
     manager = std::make_unique<TrafficManager>(*sim);
     auto agent_ptr = std::make_unique<Agent>(ao);
     agent = agent_ptr.get();
@@ -52,6 +53,17 @@ struct Fixture {
     });
     sim->schedule_app_timer(*engine, hosts[0], milliseconds(1),
                             make_timer(TrafficKind::kNone, 1));
+  }
+
+  /// The access link attaching `host` (for outage injection).
+  LinkId access_link(NodeId host) const {
+    for (LinkId l = 0; l < static_cast<LinkId>(net.links.size()); ++l) {
+      if (net.links[static_cast<std::size_t>(l)].a == host ||
+          net.links[static_cast<std::size_t>(l)].b == host) {
+        return l;
+      }
+    }
+    return kInvalidLink;
   }
 
   Network net;
@@ -144,6 +156,74 @@ TEST(VSocket, SendReceiveRoundTrip) {
   });
   f.engine->run();
   app.join();
+}
+
+TEST(Agent, RetryRecoversFromTransientOutage) {
+  // The destination's access link is down when the transfer starts; TCP
+  // abandons, the Agent retries with backoff, and a retry issued after the
+  // restoration succeeds — the application sees one ordinary delivery.
+  NetSimOptions no;
+  no.tcp_max_consecutive_timeouts = 3;  // abandon after ~7 s of silence
+  Fixture f(AgentOptions{}, seconds(60), no);
+  const LinkId down = f.access_link(f.hosts[1]);
+  ASSERT_NE(down, kInvalidLink);
+  f.sim->schedule_link_state(*f.engine, down, milliseconds(1), false);
+  f.sim->schedule_link_state(*f.engine, down, seconds(10), true);
+
+  Agent::SendRequest req;
+  req.src_host = f.hosts[0];
+  req.dst_host = f.hosts[1];
+  req.bytes = 20000;
+  req.cookie = 42;
+  f.agent->submit(req);
+  f.engine->run();
+
+  const auto d = f.agent->poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->failed);
+  EXPECT_EQ(d->cookie, 42u);
+  EXPECT_GT(d->virtual_time, seconds(10));  // after the restoration
+  EXPECT_GE(f.agent->retries(), 1u);
+  EXPECT_EQ(f.agent->requests_failed(), 0u);
+}
+
+TEST(Agent, DegradedModeAfterPermanentOutage) {
+  // Path never comes back: retries exhaust, the degraded callback fires at
+  // a barrier, and the application receives an explicit failed delivery.
+  NetSimOptions no;
+  no.tcp_max_consecutive_timeouts = 3;
+  AgentOptions ao;
+  ao.max_retries = 1;
+  ao.retry_backoff_s = 0.5;
+  Fixture f(ao, seconds(60), no);
+  const LinkId down = f.access_link(f.hosts[1]);
+  f.sim->schedule_link_state(*f.engine, down, milliseconds(1), false);
+
+  std::uint32_t degraded_calls = 0;
+  std::uint32_t degraded_cookie = 0;
+  f.agent->set_degraded([&](const Agent::SendRequest& r, SimTime at) {
+    ++degraded_calls;
+    degraded_cookie = r.cookie;
+    EXPECT_GT(at, 0);
+  });
+
+  Agent::SendRequest req;
+  req.src_host = f.hosts[0];
+  req.dst_host = f.hosts[1];
+  req.bytes = 20000;
+  req.cookie = 17;
+  f.agent->submit(req);
+  f.engine->run();
+
+  const auto d = f.agent->poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->failed);
+  EXPECT_EQ(d->cookie, 17u);
+  EXPECT_EQ(degraded_calls, 1u);
+  EXPECT_EQ(degraded_cookie, 17u);
+  EXPECT_EQ(f.agent->retries(), 1u);
+  EXPECT_EQ(f.agent->requests_failed(), 1u);
+  EXPECT_FALSE(f.agent->poll().has_value());  // exactly one delivery
 }
 
 TEST(Agent, SlowdownPacesVirtualTime) {

@@ -218,7 +218,7 @@ TEST(Failover, ReroutesAroundFailedLink) {
   std::uint32_t completions = 0;
   SimTime completed_at = -1;
   rig.sim->set_flow_complete(
-      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine& e, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
         completed_at = e.now();
       });
@@ -246,7 +246,7 @@ TEST(Failover, RestoreReturnsToPrimaryPath) {
   ctl.restore_link(*rig.engine, *rig.sim, 0, seconds(2));
   std::uint32_t completions = 0;
   rig.sim->set_flow_complete(
-      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t) {
+      [&](Engine&, NetSim&, FlowId, NodeId, NodeId, std::uint32_t, bool) {
         ++completions;
       });
   // Keep traffic flowing across the whole episode.
@@ -256,6 +256,67 @@ TEST(Failover, RestoreReturnsToPrimaryPath) {
   EXPECT_EQ(completions, 2u);
   EXPECT_EQ(ctl.reconvergences(), 2);
   EXPECT_EQ(rig.fp.next_link(0, 3), 0);  // primary restored
+}
+
+TEST(Failover, LinkDownRerouteRestoreBitIdenticalAcrossExecutors) {
+  // The full kEvLinkState episode — down, OSPF reroute, back up, return to
+  // the primary path — must be bit-identical under the sequential and
+  // threaded executors: the data-plane change is an ordinary pre-scheduled
+  // event and the control-plane change applies at a window barrier, which
+  // falls at the same virtual time either way.
+  struct Outcome {
+    RunStats stats;
+    NetSim::Counters counters;
+    std::vector<SimTime> completion_times;
+    LinkId final_next_link;
+    std::int32_t reconvergences;
+    bool operator==(const Outcome& o) const {
+      return stats.total_events == o.stats.total_events &&
+             stats.num_windows == o.stats.num_windows &&
+             stats.events_per_lp == o.stats.events_per_lp &&
+             counters.forwarded == o.counters.forwarded &&
+             counters.dropped_link_down == o.counters.dropped_link_down &&
+             counters.retransmits == o.counters.retransmits &&
+             completion_times == o.completion_times &&
+             final_next_link == o.final_next_link &&
+             reconvergences == o.reconvergences;
+    }
+  };
+  const auto run_once = [](bool threaded) {
+    Network net = failover_detail::diamond();
+    ForwardingPlane fp = ForwardingPlane::build_flat(net, {{0, 3}});
+    EngineOptions eo;
+    eo.lookahead = milliseconds(1);  // = min cross-LP latency (link 1-3)
+    eo.end_time = seconds(120);
+    Engine engine(eo);
+    // Two LPs so the threaded executor actually runs in parallel.
+    NetSim sim(net, fp, std::vector<LpId>{0, 0, 1, 1}, engine,
+               NetSimOptions{});
+    FailoverController ctl(fp, milliseconds(200));
+    ctl.attach(engine);
+    ctl.fail_link(engine, sim, /*link=*/0, milliseconds(50));
+    ctl.restore_link(engine, sim, /*link=*/0, seconds(5));
+
+    Outcome out;
+    sim.set_flow_complete([&](Engine& e, NetSim&, FlowId, NodeId, NodeId,
+                              std::uint32_t, bool) {
+      out.completion_times.push_back(e.now());
+    });
+    sim.start_flow(engine, milliseconds(1), 4, 5, 2000000, 1);  // spans down
+    sim.start_flow(engine, seconds(6), 4, 5, 1000000, 2);       // after up
+    out.stats = threaded ? engine.run_threaded(2) : engine.run();
+    out.counters = sim.totals();
+    out.final_next_link = fp.next_link(0, 3);
+    out.reconvergences = ctl.reconvergences();
+    return out;
+  };
+  const Outcome seq = run_once(false);
+  const Outcome thr = run_once(true);
+  EXPECT_EQ(seq.completion_times.size(), 2u);
+  EXPECT_EQ(seq.final_next_link, 0);  // primary path restored
+  EXPECT_EQ(seq.reconvergences, 2);
+  EXPECT_GT(seq.counters.dropped_link_down, 0u);
+  EXPECT_TRUE(seq == thr) << "executors diverged on the failover episode";
 }
 
 TEST(Failover, ScenarioTrafficSurvivesBackboneFailure) {
