@@ -9,10 +9,17 @@
 // ("massf.bench_pdes.v1") is documented in DESIGN.md and README.md.
 //
 // Usage: bench_pdes [--lps=32] [--chain=64] [--hops=2000] [--threads=N]
-//                   [--repeats=3] [--out=BENCH_pdes.json]
+//                   [--sweep=1,2,4] [--repeats=3] [--out=BENCH_pdes.json]
+//
+// --sweep runs the threaded executor at each listed thread count (in
+// addition to the sequential reference and the --threads run) and records
+// one entry per count, so a single invocation captures the scaling curve.
+// Pass --sweep=none to skip it. Every run's checksum must agree with the
+// sequential reference or the bench fails.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -126,24 +133,47 @@ Measurement measure(const Workload& w, std::int32_t threads, int repeats) {
   return best;
 }
 
+std::string measurement_json(const Measurement& m, std::int32_t threads,
+                             const char* indent) {
+  using obs::format_double;
+  const std::string in(indent);
+  std::string out = "{\n";
+  out += in + "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += in + "  \"events\": " + std::to_string(m.stats.total_events) + ",\n";
+  out += in + "  \"windows\": " + std::to_string(m.stats.num_windows) + ",\n";
+  out += in + "  \"wall_s\": " + format_double(m.wall_s) + ",\n";
+  out +=
+      in + "  \"events_per_sec\": " + format_double(m.events_per_sec) + ",\n";
+  out += in + "  \"hook_s\": " + format_double(m.hook_s) + ",\n";
+  out += in + "  \"process_s\": " + format_double(m.process_s) + ",\n";
+  out +=
+      in + "  \"barrier_wait_s\": " + format_double(m.barrier_wait_s) + ",\n";
+  out += in + "  \"merge_s\": " + format_double(m.merge_s) + ",\n";
+  out += in + "  \"checksum\": " + std::to_string(m.checksum) + "\n";
+  out += in + "}";
+  return out;
+}
+
 std::string executor_json(const char* name, const Measurement& m,
                           std::int32_t threads) {
-  using obs::format_double;
-  std::string out = "  \"";
-  out += name;
-  out += "\": {\n";
-  out += "    \"threads\": " + std::to_string(threads) + ",\n";
-  out += "    \"events\": " + std::to_string(m.stats.total_events) + ",\n";
-  out += "    \"windows\": " + std::to_string(m.stats.num_windows) + ",\n";
-  out += "    \"wall_s\": " + format_double(m.wall_s) + ",\n";
-  out += "    \"events_per_sec\": " + format_double(m.events_per_sec) + ",\n";
-  out += "    \"hook_s\": " + format_double(m.hook_s) + ",\n";
-  out += "    \"process_s\": " + format_double(m.process_s) + ",\n";
-  out += "    \"barrier_wait_s\": " + format_double(m.barrier_wait_s) + ",\n";
-  out += "    \"merge_s\": " + format_double(m.merge_s) + ",\n";
-  out += "    \"checksum\": " + std::to_string(m.checksum) + "\n";
-  out += "  }";
-  return out;
+  return "  \"" + std::string(name) + "\": " +
+         measurement_json(m, threads, "  ");
+}
+
+std::vector<std::int32_t> parse_sweep(const std::string& spec) {
+  std::vector<std::int32_t> counts;
+  if (spec == "none" || spec.empty()) return counts;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? spec.npos : comma - pos);
+    const int v = std::atoi(tok.c_str());
+    if (v >= 1) counts.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return counts;
 }
 
 }  // namespace
@@ -160,6 +190,8 @@ int main(int argc, char** argv) {
   const int repeats = static_cast<int>(flags.get_int("repeats", 3));
   const std::string out_path =
       flags.get_string("out", "BENCH_pdes.json");
+  const std::vector<std::int32_t> sweep =
+      parse_sweep(flags.get_string("sweep", "1,2,4"));
   if (threads < 1 || repeats < 1) {
     std::fprintf(stderr, "[bench_pdes] --threads and --repeats must be >= 1\n");
     return 2;
@@ -176,29 +208,64 @@ int main(int argc, char** argv) {
                seq.events_per_sec,
                static_cast<unsigned long long>(seq.stats.total_events),
                static_cast<unsigned long long>(seq.stats.num_windows));
-  const Measurement thr = measure(w, threads, repeats);
-  std::fprintf(stderr, "[bench_pdes] threaded(%d): %.0f events/s\n", threads,
-               thr.events_per_sec);
 
-  if (seq.checksum != thr.checksum ||
-      seq.stats.total_events != thr.stats.total_events) {
-    std::fprintf(stderr,
-                 "[bench_pdes] ERROR: executors disagree (checksum %llu vs "
-                 "%llu)\n",
-                 static_cast<unsigned long long>(seq.checksum),
-                 static_cast<unsigned long long>(thr.checksum));
-    return 1;
+  const auto agrees = [&seq](const Measurement& m) {
+    return seq.checksum == m.checksum &&
+           seq.stats.total_events == m.stats.total_events;
+  };
+
+  std::vector<std::pair<std::int32_t, Measurement>> sweep_runs;
+  Measurement thr;
+  bool have_thr = false;
+  for (const std::int32_t t : sweep) {
+    const Measurement m = measure(w, t, repeats);
+    std::fprintf(stderr, "[bench_pdes] threaded(%d): %.0f events/s\n", t,
+                 m.events_per_sec);
+    if (!agrees(m)) {
+      std::fprintf(stderr,
+                   "[bench_pdes] ERROR: executors disagree at %d threads "
+                   "(checksum %llu vs %llu)\n",
+                   t, static_cast<unsigned long long>(seq.checksum),
+                   static_cast<unsigned long long>(m.checksum));
+      return 1;
+    }
+    sweep_runs.emplace_back(t, m);
+    if (t == threads) {
+      thr = m;
+      have_thr = true;
+    }
+  }
+  if (!have_thr) {
+    thr = measure(w, threads, repeats);
+    std::fprintf(stderr, "[bench_pdes] threaded(%d): %.0f events/s\n", threads,
+                 thr.events_per_sec);
+    if (!agrees(thr)) {
+      std::fprintf(stderr,
+                   "[bench_pdes] ERROR: executors disagree (checksum %llu vs "
+                   "%llu)\n",
+                   static_cast<unsigned long long>(seq.checksum),
+                   static_cast<unsigned long long>(thr.checksum));
+      return 1;
+    }
   }
 
   using obs::format_double;
-  std::string json = "{\n  \"schema\": \"massf.bench_pdes.v1\",\n";
+  std::string json = "{\n  \"schema\": \"massf.bench_pdes.v2\",\n";
   json += "  \"config\": {\"lps\": " + std::to_string(w.lps) +
           ", \"chain\": " + std::to_string(w.chain) +
           ", \"hops\": " + std::to_string(w.hops) +
           ", \"lookahead_ms\": 1, \"repeats\": " + std::to_string(repeats) +
-          "},\n";
+          ", \"host_cpus\": " +
+          std::to_string(std::thread::hardware_concurrency()) + "},\n";
   json += executor_json("sequential", seq, 0) + ",\n";
   json += executor_json("threaded", thr, threads) + ",\n";
+  json += "  \"sweep\": [";
+  for (std::size_t i = 0; i < sweep_runs.size(); ++i) {
+    json += i == 0 ? "\n    " : ",\n    ";
+    json += measurement_json(sweep_runs[i].second, sweep_runs[i].first,
+                             "    ");
+  }
+  json += sweep_runs.empty() ? "],\n" : "\n  ],\n";
   json += "  \"speedup\": " +
           format_double(thr.events_per_sec > 0 && seq.events_per_sec > 0
                             ? thr.events_per_sec / seq.events_per_sec

@@ -36,6 +36,9 @@ class WindowProbe {
     std::uint64_t queue_depth = 0;
     std::uint64_t max_queue_depth = 0;
     std::uint64_t outbox = 0;  ///< cross-LP events exchanged at the barrier
+    /// Non-empty (src,dst) outbox buffers merged at the barrier — the
+    /// batch count of the scheduler's grouped exchange (pdes.sched.*).
+    std::uint64_t outbox_batches = 0;
     // Real wall-clock per phase (seconds).
     double hook_s = 0;     ///< barrier hooks (online injection, failover)
     double process_s = 0;  ///< LP event processing (span, all workers)
@@ -57,7 +60,8 @@ class WindowProbe {
 
   void begin_window(std::uint64_t index, double start_vtime_s);
   void record_lp(std::int32_t lp, std::uint64_t events,
-                 std::uint64_t queue_depth, std::uint64_t outbox);
+                 std::uint64_t queue_depth, std::uint64_t outbox,
+                 std::uint64_t outbox_batches = 0);
   void end_window(double hook_s, double process_s, double barrier_wait_s,
                   double merge_s);
 
@@ -77,6 +81,7 @@ class WindowProbe {
     double merge_s = 0;
     std::uint64_t max_queue_depth = 0;
     std::uint64_t outbox_events = 0;
+    std::uint64_t outbox_batches = 0;
   };
   Summary summary() const { return summary_; }
 

@@ -1,0 +1,79 @@
+// Centralized sense-reversing barrier for the threaded executor.
+//
+// std::barrier's completion-step machinery and per-phase token plumbing
+// cost more than this engine's windows need: the window protocol only ever
+// wants "everyone arrived, go". Arrival is one fetch_sub on a shared
+// counter; the last arriver resets the counter and bumps a generation
+// word (the reversed sense) that waiters watch. Waiters spin briefly —
+// windows are sub-millisecond, so the generation usually flips while
+// spinning is still cheaper than a futex round-trip — then fall back to
+// C++20 atomic wait. On a single-CPU host the spin budget should be zero
+// (spinning only delays the thread that would flip the generation);
+// Engine::run_threaded picks the budget from hardware_concurrency().
+//
+// Memory ordering: the acq_rel fetch_sub chain on `remaining_` makes every
+// arriver's prior writes visible to the last arriver, and the release bump
+// of `gen_` (plus acquire loads in the waiters) republishes them to every
+// thread leaving the barrier — the same happens-before a std::barrier
+// phase provides.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace massf {
+
+class SpinBarrier {
+ public:
+  /// `spin` bounds the busy-wait iterations before sleeping; 0 sleeps
+  /// immediately (right for a machine with fewer cores than parties).
+  explicit SpinBarrier(std::int32_t parties, std::int32_t spin = 512)
+      : parties_(parties), spin_(spin), remaining_(parties) {
+    MASSF_CHECK(parties >= 1);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() {
+    const std::uint32_t gen = gen_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reopen the barrier for the next phase, then flip the
+      // sense. The release on gen_ orders the counter reset before any
+      // waiter can re-enter.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_acq_rel);
+      gen_.notify_all();
+      return;
+    }
+    for (std::int32_t i = 0; i < spin_; ++i) {
+      if (gen_.load(std::memory_order_acquire) != gen) return;
+      cpu_relax();
+    }
+    while (gen_.load(std::memory_order_acquire) == gen) {
+      gen_.wait(gen, std::memory_order_acquire);
+    }
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
+  const std::int32_t parties_;
+  const std::int32_t spin_;
+  std::atomic<std::int32_t> remaining_;
+  std::atomic<std::uint32_t> gen_{0};
+};
+
+}  // namespace massf

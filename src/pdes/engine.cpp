@@ -80,26 +80,36 @@ void Engine::schedule(LpId lp, SimTime time, std::int32_t type,
   // in `time` must push the event past the current window, otherwise the
   // partition's lookahead (MLL) was computed wrong.
   MASSF_CHECK(time >= window_end_);
-  lps_[static_cast<std::size_t>(cur)].outbox.push_back(ev);
+  lps_[static_cast<std::size_t>(cur)].outbox.add(ev);
 }
 
 SimTime Engine::next_event_floor() const {
+  // min_time() is a cached field read, so this is a linear scan of one
+  // word per LP — no heap walks.
   SimTime floor = kSimTimeMax;
-  for (const Lp& lp : lps_) {
-    if (!lp.queue.empty()) floor = std::min(floor, lp.queue.top().time);
-  }
+  for (const Lp& lp : lps_) floor = std::min(floor, lp.queue.min_time());
   return floor;
 }
 
-void Engine::deliver_outboxes() {
-  // Deterministic merge: sender LPs in id order, each outbox in send order.
-  for (Lp& src : lps_) {
-    for (const Event& ev : src.outbox) {
-      auto& dst = lps_[static_cast<std::size_t>(ev.lp)];
+void Engine::merge_lp_inbox(LpId dst_id) {
+  Lp& dst = lps_[static_cast<std::size_t>(dst_id)];
+  dst.premerge_depth = dst.queue.size();
+  for (const Lp& src : lps_) {
+    const std::vector<Event>* bucket = src.outbox.find(dst_id);
+    if (bucket == nullptr) continue;
+    for (const Event& ev : *bucket) {
       Event copy = ev;
       copy.seq = dst.next_seq++;
       dst.queue.push(copy);
     }
+  }
+}
+
+void Engine::clear_outboxes() {
+  for (Lp& src : lps_) {
+    if (src.outbox.total() == 0) continue;
+    stats_.cross_lp_events += src.outbox.total();
+    stats_.merge_batches += src.outbox.batches();
     src.outbox.clear();
   }
 }
@@ -129,8 +139,9 @@ void Engine::process_lp_window(LpId i) {
   } else {
     current_lp_ = i;
   }
-  while (!lp.queue.empty() && lp.queue.top().time < window_end_ &&
-         lp.queue.top().time < opts_.end_time) {
+  for (;;) {
+    const SimTime next = lp.queue.min_time();  // kSimTimeMax when empty
+    if (next >= window_end_ || next >= opts_.end_time) break;
     const Event ev = lp.queue.top();
     lp.queue.pop();
     if (threaded_) {
@@ -161,13 +172,17 @@ void Engine::run_barrier_hooks(SimTime floor) {
 }
 
 void Engine::probe_window(SimTime floor) {
-  // Called after LP processing, before the outbox exchange: window_events
-  // is still this window's tally, outboxes are undelivered, and queue
-  // depths are the backlog each LP carries into the next window.
+  // Called after the merge, before outboxes are cleared: window_events is
+  // still this window's tally, outbox sizes are still readable, and
+  // premerge_depth (recorded by merge_lp_inbox) is the backlog each LP
+  // carried out of its processing phase — the same quantity the probe
+  // reported when it ran before the merge, but available identically under
+  // both executors now that the merge itself is parallel.
   probe_->begin_window(stats_.num_windows, to_seconds(floor));
   for (std::size_t i = 0; i < lps_.size(); ++i) {
     probe_->record_lp(static_cast<std::int32_t>(i), lps_[i].window_events,
-                      lps_[i].queue.size(), lps_[i].outbox.size());
+                      lps_[i].premerge_depth, lps_[i].outbox.total(),
+                      lps_[i].outbox.batches());
   }
 }
 
@@ -180,6 +195,17 @@ void Engine::publish_run_metrics() {
   r.gauge("pdes.modeled_sync_s").add(stats_.modeled_sync_s);
   r.gauge("pdes.end_vtime_s").set(to_seconds(stats_.end_vtime));
   r.gauge("pdes.lookahead_s").set(to_seconds(opts_.lookahead));
+  // Scheduler internals (schema massf.metrics.v1, DESIGN.md section 5d).
+  std::size_t heap_peak = 0, arena_slots = 0;
+  for (const Lp& lp : lps_) {
+    heap_peak = std::max(heap_peak, lp.queue.peak_size());
+    arena_slots += lp.queue.arena_slots();
+  }
+  r.gauge("pdes.sched.heap_peak").set(static_cast<double>(heap_peak));
+  r.gauge("pdes.sched.arena_slots").set(static_cast<double>(arena_slots));
+  r.counter("pdes.sched.cross_events").inc(stats_.cross_lp_events);
+  r.counter("pdes.sched.merge_batches").inc(stats_.merge_batches);
+  r.gauge("pdes.sched.threads").set(static_cast<double>(run_threads_));
 }
 
 void Engine::begin_run() {
@@ -207,26 +233,26 @@ void Engine::finish_run(SimTime floor) {
 
 RunStats Engine::run() {
   begin_run();
+  run_threads_ = 0;
+  const LpId n = static_cast<LpId>(lps_.size());
   SimTime floor = next_event_floor();
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
     window_end_ = floor + opts_.lookahead;
     if (probe_ == nullptr) {
       run_barrier_hooks(floor);
-      for (LpId i = 0; i < static_cast<LpId>(lps_.size()); ++i) {
-        process_lp_window(i);
-      }
-      deliver_outboxes();
+      for (LpId i = 0; i < n; ++i) process_lp_window(i);
+      for (LpId d = 0; d < n; ++d) merge_lp_inbox(d);
+      clear_outboxes();
       account_window();
     } else {
       const auto t0 = Clock::now();
       run_barrier_hooks(floor);
       const auto t1 = Clock::now();
-      for (LpId i = 0; i < static_cast<LpId>(lps_.size()); ++i) {
-        process_lp_window(i);
-      }
+      for (LpId i = 0; i < n; ++i) process_lp_window(i);
       const auto t2 = Clock::now();
+      for (LpId d = 0; d < n; ++d) merge_lp_inbox(d);
       probe_window(floor);
-      deliver_outboxes();
+      clear_outboxes();
       account_window();
       const auto t3 = Clock::now();
       probe_->end_window(elapsed_s(t0, t1), elapsed_s(t1, t2),

@@ -23,10 +23,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "pdes/event.hpp"
+#include "pdes/sched.hpp"
 #include "util/stats.hpp"
 
 namespace massf {
@@ -77,6 +77,12 @@ struct RunStats {
   SimTime end_vtime = 0;
   /// Per-LP load traces (empty unless EngineOptions::load_bin > 0).
   std::vector<TimeSeries> lp_load;
+  /// Cross-LP events exchanged at window barriers over the whole run, and
+  /// the number of non-empty (src,dst) outbox buffers merged. Both are
+  /// deterministic functions of the event stream — the differential tests
+  /// compare them across executors.
+  std::uint64_t cross_lp_events = 0;
+  std::uint64_t merge_batches = 0;
 
   /// Per-engine-node kernel event rates (events per modeled second of the
   /// whole run), the quantity whose normalized stddev is the paper's load
@@ -123,12 +129,15 @@ class Engine {
   /// event exhaustion.
   RunStats run();
 
-  /// Runs the same protocol with LPs distributed over `num_threads` worker
-  /// threads (round-robin). Produces bit-identical simulation results to
-  /// run(): within a window each LP is processed serially by one thread,
-  /// and the outbox merge at the barrier is order-independent of thread
-  /// scheduling. Modeled-time statistics are identical as well — only real
-  /// wall clock differs.
+  /// Runs the same protocol with the per-window LP processing and outbox
+  /// merge distributed over `num_threads` threads (the calling thread
+  /// counts as one). LPs are claimed dynamically off a shared atomic index,
+  /// so a window's span is bounded by its slowest single LP rather than by
+  /// a static LP bucket. Produces bit-identical simulation results to
+  /// run(): within a window each LP is processed serially by exactly one
+  /// thread, and the barrier merge assigns arrival seqs in an order
+  /// independent of thread scheduling (DESIGN.md section 5d). Modeled-time
+  /// statistics are identical as well — only real wall clock differs.
   RunStats run_threaded(std::int32_t num_threads);
 
   /// Requests a clean stop at the next window boundary. Callable from
@@ -165,19 +174,28 @@ class Engine {
   void set_registry(obs::Registry* registry) { registry_ = registry; }
 
  private:
-  friend class ThreadedExecutor;
-
   struct Lp {
     std::unique_ptr<LogicalProcess> process;
-    std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+    EventSched queue;
     std::uint64_t next_seq = 0;
     std::uint64_t events = 0;
     std::uint64_t window_events = 0;
-    std::vector<Event> outbox;  // cross-LP sends buffered within a window
+    Outbox outbox;  // cross-LP sends buffered within a window, by dst
+    /// Queue depth after processing, before the barrier merge — recorded
+    /// by whichever thread merges this LP's arrivals, read by the window
+    /// probe. Deterministic, so probe rows match across executors.
+    std::uint64_t premerge_depth = 0;
   };
 
   SimTime next_event_floor() const;
-  void deliver_outboxes();
+  /// Delivers every source's buffered sends for destination `dst`,
+  /// assigning arrival seqs in (src id, send order) — the deterministic
+  /// merge order. Touches only `dst`'s queue/seq (sources are read-only),
+  /// so distinct destinations can merge concurrently.
+  void merge_lp_inbox(LpId dst);
+  /// Empties all outboxes after a merge and folds their sizes into the
+  /// sched counters. Coordinator-only.
+  void clear_outboxes();
   void account_window();
   void process_lp_window(LpId i);
   void run_barrier_hooks(SimTime floor);
@@ -195,6 +213,8 @@ class Engine {
   bool running_ = false;
   bool threaded_ = false;
   std::atomic<bool> stop_requested_{false};
+  /// Thread count of the last run (0 = sequential), for pdes.sched.*.
+  std::int32_t run_threads_ = 0;
   RunStats stats_;
   std::vector<std::function<void(Engine&, SimTime)>> barrier_hooks_;
   obs::WindowProbe* probe_ = nullptr;

@@ -1,15 +1,28 @@
 // Threaded executor for the conservative engine: the same window protocol
-// as Engine::run(), with the per-window LP processing distributed over
-// worker threads. LPs are assigned round-robin; each LP's queue, outbox,
-// and statistics are touched only by its owning thread inside a window, so
-// no locks are needed — the std::barrier phases are the only coordination,
-// mirroring the MPI barrier of the real cluster engine.
-#include <barrier>
+// as Engine::run(), with both the per-window LP processing and the barrier
+// outbox merge distributed over threads (the coordinator doubles as worker
+// 0). Work is claimed dynamically: each phase pops LP ids off a shared
+// atomic index, so load balance is limited only by the slowest single LP,
+// not by a static LP→thread bucket. Claim order cannot affect results —
+// within a window every LP is still processed serially by exactly one
+// thread, and the merge phase claims *destinations*, whose arrival order
+// (src id, send order) is fixed by the Outbox layout (sched.hpp).
+//
+// Window shape: three sense-reversing barriers (barrier.hpp) —
+//   open  : coordinator has reset claim counters, run hooks, set the window
+//   mid   : all LPs processed; outboxes frozen, merge may begin
+//   close : all destinations merged; coordinator accounts and picks the
+//           next floor
+// Per-LP state is handed between threads exclusively across these barriers,
+// which is the entire synchronization story (no locks on the hot path).
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
 
 #include "obs/probe.hpp"
+#include "pdes/barrier.hpp"
 #include "pdes/engine.hpp"
 #include "util/check.hpp"
 
@@ -29,32 +42,54 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
                                        std::max<std::int32_t>(1, num_lps()));
   begin_run();
   threaded_ = true;
+  run_threads_ = num_threads;
 
-  std::barrier sync(num_threads + 1);
+  const LpId n = num_lps();
+  // Spinning at a barrier only pays when every party can run at once;
+  // otherwise sleep immediately and give the CPU to whoever is behind.
+  const std::int32_t spin =
+      std::thread::hardware_concurrency() >=
+              static_cast<unsigned>(num_threads) + 1
+          ? 512
+          : 0;
+  SpinBarrier open_gate(num_threads, spin);
+  SpinBarrier mid_gate(num_threads, spin);
+  SpinBarrier close_gate(num_threads, spin);
+  std::atomic<std::int32_t> process_claim{0};
+  std::atomic<std::int32_t> merge_claim{0};
   bool done = false;  // written by coordinator between barrier phases only
 
-  // Per-worker busy time within the current window (seconds); written by
-  // the owning worker inside the window, read by the coordinator after the
-  // closing barrier. Only maintained when a probe is attached.
-  std::vector<double> worker_busy_s(static_cast<std::size_t>(num_threads), 0.0);
+  // Per-thread busy time in the processing phase (seconds); written by the
+  // owning thread inside the window, read by the coordinator after the mid
+  // barrier. Only maintained when a probe is attached.
+  std::vector<double> busy_s(static_cast<std::size_t>(num_threads), 0.0);
+
+  // Processing phase then merge phase, claiming dynamically in each.
+  const auto window_phase = [&](std::int32_t self) {
+    const auto t0 = probe_ ? Clock::now() : Clock::time_point{};
+    std::int32_t i;
+    while ((i = process_claim.fetch_add(1, std::memory_order_relaxed)) < n) {
+      process_lp_window(i);
+    }
+    if (probe_) {
+      busy_s[static_cast<std::size_t>(self)] = elapsed_s(t0, Clock::now());
+    }
+    mid_gate.arrive_and_wait();
+    std::int32_t d;
+    while ((d = merge_claim.fetch_add(1, std::memory_order_relaxed)) < n) {
+      merge_lp_inbox(d);
+    }
+  };
 
   std::vector<std::jthread> workers;
-  workers.reserve(static_cast<std::size_t>(num_threads));
-  for (std::int32_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([this, t, num_threads, &sync, &done, &worker_busy_s] {
+  workers.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (std::int32_t t = 1; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
       for (;;) {
-        sync.arrive_and_wait();  // window opened (or done raised)
+        open_gate.arrive_and_wait();  // window opened (or done raised)
         if (done) return;
-        const auto t0 = probe_ ? Clock::now() : Clock::time_point{};
-        for (LpId i = t; i < static_cast<LpId>(lps_.size());
-             i += num_threads) {
-          process_lp_window(i);
-        }
-        if (probe_) {
-          worker_busy_s[static_cast<std::size_t>(t)] =
-              elapsed_s(t0, Clock::now());
-        }
-        sync.arrive_and_wait();  // window closed
+        window_phase(t);
+        close_gate.arrive_and_wait();
       }
     });
   }
@@ -62,29 +97,45 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
   SimTime floor = next_event_floor();
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
     window_end_ = floor + opts_.lookahead;
+    process_claim.store(0, std::memory_order_relaxed);
+    merge_claim.store(0, std::memory_order_relaxed);
     if (probe_ == nullptr) {
       run_barrier_hooks(floor);
-      sync.arrive_and_wait();  // release workers into the window
-      sync.arrive_and_wait();  // wait for all LPs to finish
-      deliver_outboxes();
+      open_gate.arrive_and_wait();
+      window_phase(0);
+      close_gate.arrive_and_wait();
+      clear_outboxes();
       account_window();
     } else {
       const auto t0 = Clock::now();
       run_barrier_hooks(floor);
       const auto t1 = Clock::now();
-      sync.arrive_and_wait();  // release workers into the window
-      sync.arrive_and_wait();  // wait for all LPs to finish
+      open_gate.arrive_and_wait();
+      // Inlined window_phase so the end of the processing phase (everyone
+      // through the mid barrier) can be timestamped.
+      std::int32_t i;
+      while ((i = process_claim.fetch_add(1, std::memory_order_relaxed)) <
+             n) {
+        process_lp_window(i);
+      }
+      busy_s[0] = elapsed_s(t1, Clock::now());
+      mid_gate.arrive_and_wait();
       const auto t2 = Clock::now();
+      std::int32_t d;
+      while ((d = merge_claim.fetch_add(1, std::memory_order_relaxed)) < n) {
+        merge_lp_inbox(d);
+      }
+      close_gate.arrive_and_wait();
       probe_window(floor);
-      deliver_outboxes();
+      clear_outboxes();
       account_window();
       const auto t3 = Clock::now();
-      // Barrier wait = idle thread-seconds at the closing barrier: the
-      // window span charged to every worker minus the time it was busy.
+      // Barrier wait = idle thread-seconds in the processing phase: the
+      // phase span charged to every thread minus the time it was busy.
       const double span = elapsed_s(t1, t2);
       double busy = 0;
       for (std::int32_t t = 0; t < num_threads; ++t) {
-        busy += worker_busy_s[static_cast<std::size_t>(t)];
+        busy += busy_s[static_cast<std::size_t>(t)];
       }
       const double wait = std::max(0.0, span * num_threads - busy);
       probe_->end_window(elapsed_s(t0, t1), span, wait, elapsed_s(t2, t3));
@@ -93,7 +144,7 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
   }
 
   done = true;
-  sync.arrive_and_wait();  // release workers to observe `done`
+  open_gate.arrive_and_wait();  // release workers to observe `done`
 
   workers.clear();  // join
   threaded_ = false;

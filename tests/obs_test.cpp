@@ -165,11 +165,11 @@ TEST(Export, WriteFileRoundTrips) {
 TEST(Probe, AccumulatesWindowsAndSummary) {
   WindowProbe probe;
   probe.begin_window(0, 0.0);
-  probe.record_lp(0, 3, 5, 1);
-  probe.record_lp(1, 1, 2, 0);
+  probe.record_lp(0, 3, 5, 1, 1);
+  probe.record_lp(1, 1, 2, 0, 0);
   probe.end_window(0.1, 0.2, 0.05, 0.01);
   probe.begin_window(1, 0.001);
-  probe.record_lp(0, 2, 4, 2);
+  probe.record_lp(0, 2, 4, 2, 2);
   probe.end_window(0.0, 0.1, 0.0, 0.0);
 
   ASSERT_EQ(probe.windows().size(), 2u);
@@ -179,12 +179,14 @@ TEST(Probe, AccumulatesWindowsAndSummary) {
   EXPECT_EQ(w0.queue_depth, 7u);
   EXPECT_EQ(w0.max_queue_depth, 5u);
   EXPECT_EQ(w0.outbox, 1u);
+  EXPECT_EQ(w0.outbox_batches, 1u);
   EXPECT_DOUBLE_EQ(w0.hook_s, 0.1);
 
   const auto s = probe.summary();
   EXPECT_EQ(s.windows, 2u);
   EXPECT_EQ(s.events, 6u);
   EXPECT_EQ(s.outbox_events, 3u);
+  EXPECT_EQ(s.outbox_batches, 3u);
   EXPECT_EQ(s.max_queue_depth, 5u);
   EXPECT_DOUBLE_EQ(s.process_s, 0.3);
 
@@ -220,13 +222,14 @@ TEST(Probe, CsvHasFixedHeaderAndOneRowPerWindow) {
 TEST(Probe, PublishesSummaryIntoRegistry) {
   WindowProbe probe;
   probe.begin_window(0, 0.0);
-  probe.record_lp(0, 4, 2, 1);
+  probe.record_lp(0, 4, 2, 1, 1);
   probe.end_window(0.1, 0.2, 0.3, 0.4);
   Registry r;
   probe.publish(r);
   EXPECT_EQ(r.counter("pdes.probe.windows").value(), 1u);
   EXPECT_EQ(r.counter("pdes.probe.events").value(), 4u);
   EXPECT_EQ(r.counter("pdes.probe.outbox_events").value(), 1u);
+  EXPECT_EQ(r.counter("pdes.probe.outbox_batches").value(), 1u);
   EXPECT_DOUBLE_EQ(r.gauge("pdes.probe.barrier_wait_s").value(), 0.3);
 }
 

@@ -1,0 +1,231 @@
+// Differential fuzzing of the PDES executors.
+//
+// The engine's load-bearing promise is that the threaded executor is an
+// invisible optimization: for any workload, run_threaded(N) must produce
+// bit-identical simulation results to the sequential reference run(). The
+// scheduler overhaul (dynamic LP claiming, arena event heap, parallel
+// outbox merge — DESIGN.md section 5d) preserves that promise by
+// construction; this test checks it by generation. Each seeded scenario
+// randomizes the LP count, lookahead, event fan-out, cross-LP send
+// patterns, barrier-hook injection, and mid-run stops (from hooks and from
+// handlers), then asserts that the full result signature — per-LP event
+// counts and checksums, RunStats (including the modeled-time doubles, bit
+// for bit), and the window probe's deterministic counters — is identical
+// across the sequential executor and several thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "obs/probe.hpp"
+#include "pdes/engine.hpp"
+
+namespace massf {
+namespace {
+
+constexpr int kNumSeeds = 60;
+
+// splitmix64: small, seedable, and stable across platforms.
+std::uint64_t mix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct Scenario {
+  std::int32_t lps;
+  SimTime lookahead;
+  SimTime end_time;
+  std::int32_t initial_events;  // 0 for some seeds: the empty-run path
+  std::uint64_t fanout_budget;  // remaining re-schedules carried in ev.a
+  bool hook_injects;
+  std::uint64_t stop_after_windows;   // 0 = no hook stop
+  std::uint64_t handler_stop_events;  // 0 = no handler stop
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ULL + 1;
+  Scenario sc;
+  sc.lps = static_cast<std::int32_t>(1 + mix64(s) % 9);
+  sc.lookahead = microseconds(200 + 200 * static_cast<std::int64_t>(
+                                               mix64(s) % 9));  // 0.2–1.8ms
+  sc.end_time = milliseconds(20 + static_cast<std::int64_t>(mix64(s) % 60));
+  sc.initial_events =
+      seed % 17 == 0 ? 0 : static_cast<std::int32_t>(1 + mix64(s) % 6);
+  sc.fanout_budget = 40 + mix64(s) % 160;
+  sc.hook_injects = mix64(s) % 3 != 0;
+  sc.stop_after_windows = mix64(s) % 4 == 0 ? 10 + mix64(s) % 40 : 0;
+  sc.handler_stop_events = mix64(s) % 5 == 0 ? 50 + mix64(s) % 200 : 0;
+  return sc;
+}
+
+// Deterministic function of its own event stream: all randomness comes
+// from a per-LP rng advanced once per handled event, so results cannot
+// depend on thread scheduling.
+class FuzzLp final : public LogicalProcess {
+ public:
+  FuzzLp(std::uint64_t seed, LpId self, std::int32_t num_lps,
+         const Scenario& sc)
+      : rng_(seed ^ (0xabcdef12345678ULL + static_cast<std::uint64_t>(self))),
+        self_(self),
+        num_lps_(num_lps),
+        sc_(sc) {}
+
+  void handle(Engine& engine, const Event& ev) override {
+    ++count;
+    checksum = checksum * 1099511628211ULL +
+               (static_cast<std::uint64_t>(ev.time) ^
+                (static_cast<std::uint64_t>(ev.type) << 48) ^ ev.a);
+    const std::uint64_t r = mix64(rng_);
+    if (ev.a > 0) {
+      const SimTime la = engine.options().lookahead;
+      switch (r % 5) {
+        case 0:
+        case 1: {
+          // Self event, usually inside the current window.
+          const SimTime d = 1 + static_cast<SimTime>(r >> 8) % la;
+          engine.schedule(self_, ev.time + d, 1, ev.a - 1);
+          break;
+        }
+        case 2: {
+          // Cross-LP send at the conservative limit plus jitter.
+          const LpId dst =
+              static_cast<LpId>((r >> 16) % static_cast<std::uint64_t>(
+                                                num_lps_));
+          const SimTime jitter = static_cast<SimTime>((r >> 40) % 1000);
+          engine.schedule(dst, ev.time + la + jitter, 2, ev.a - 1);
+          break;
+        }
+        case 3: {
+          // Burst: one self + one cross.
+          engine.schedule(self_, ev.time + 1 + static_cast<SimTime>(r % 500),
+                          3, ev.a / 2);
+          const LpId dst =
+              static_cast<LpId>((r >> 16) % static_cast<std::uint64_t>(
+                                                num_lps_));
+          engine.schedule(dst, ev.time + la, 4, ev.a - 1);
+          break;
+        }
+        default:
+          break;  // absorb
+      }
+    }
+    if (sc_.handler_stop_events > 0 && count == sc_.handler_stop_events) {
+      engine.request_stop();
+    }
+  }
+
+  std::uint64_t count = 0;
+  std::uint64_t checksum = 0;
+
+ private:
+  std::uint64_t rng_;
+  LpId self_;
+  std::int32_t num_lps_;
+  const Scenario& sc_;
+};
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Runs one scenario on the given executor and folds everything
+/// deterministic about the run into a comparable signature.
+std::vector<std::uint64_t> run_signature(std::uint64_t seed,
+                                         std::int32_t threads) {
+  const Scenario sc = make_scenario(seed);
+  EngineOptions o;
+  o.lookahead = sc.lookahead;
+  o.end_time = sc.end_time;
+  o.cost_per_event_s = 1e-6;
+  o.sync_cost_s = 1e-5;
+  Engine engine(o);
+  std::vector<FuzzLp*> lps;
+  for (std::int32_t i = 0; i < sc.lps; ++i) {
+    auto lp = std::make_unique<FuzzLp>(seed, i, sc.lps, sc);
+    lps.push_back(lp.get());
+    engine.add_lp(std::move(lp));
+  }
+  std::uint64_t init_rng = seed ^ 0x5151515151515151ULL;
+  for (std::int32_t i = 0; i < sc.initial_events; ++i) {
+    const std::uint64_t r = mix64(init_rng);
+    engine.schedule(static_cast<LpId>(r % static_cast<std::uint64_t>(sc.lps)),
+                    static_cast<SimTime>(r >> 32) % milliseconds(5), 1,
+                    sc.fanout_budget);
+  }
+
+  std::uint64_t hook_rng = seed ^ 0xf00dULL;
+  std::uint64_t windows_seen = 0;
+  engine.set_barrier_hook([&](Engine& eng, SimTime floor) {
+    ++windows_seen;
+    if (sc.hook_injects && mix64(hook_rng) % 7 == 0) {
+      const std::uint64_t r = mix64(hook_rng);
+      eng.schedule(
+          static_cast<LpId>(r % static_cast<std::uint64_t>(sc.lps)),
+          floor + eng.options().lookahead + static_cast<SimTime>(r % 1000), 5,
+          3);
+    }
+    if (sc.stop_after_windows > 0 && windows_seen == sc.stop_after_windows) {
+      eng.request_stop();
+    }
+  });
+
+  obs::WindowProbe probe;
+  engine.set_probe(&probe);
+  const RunStats stats =
+      threads > 0 ? engine.run_threaded(threads) : engine.run();
+
+  std::vector<std::uint64_t> sig;
+  for (const FuzzLp* lp : lps) {
+    sig.push_back(lp->count);
+    sig.push_back(lp->checksum);
+  }
+  sig.push_back(stats.total_events);
+  sig.push_back(stats.num_windows);
+  sig.push_back(static_cast<std::uint64_t>(stats.end_vtime));
+  sig.push_back(stats.cross_lp_events);
+  sig.push_back(stats.merge_batches);
+  sig.push_back(double_bits(stats.modeled_wall_s));
+  sig.push_back(double_bits(stats.modeled_sync_s));
+  for (const std::uint64_t e : stats.events_per_lp) sig.push_back(e);
+  for (const double b : stats.busy_s) sig.push_back(double_bits(b));
+  const obs::WindowProbe::Summary s = probe.summary();
+  sig.push_back(s.windows);
+  sig.push_back(s.events);
+  sig.push_back(s.max_queue_depth);
+  sig.push_back(s.outbox_events);
+  sig.push_back(s.outbox_batches);
+  // Per-window deterministic columns (counts only; phase timings are real
+  // wall clock and legitimately differ).
+  for (const obs::WindowProbe::Window& w : probe.windows()) {
+    sig.push_back(w.events);
+    sig.push_back(w.max_lp_events);
+    sig.push_back(w.queue_depth);
+    sig.push_back(w.outbox);
+    sig.push_back(w.outbox_batches);
+  }
+  return sig;
+}
+
+class PdesFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdesFuzz, ThreadedMatchesSequential) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::vector<std::uint64_t> reference = run_signature(seed, 0);
+  for (const std::int32_t threads : {2, 3, 5}) {
+    EXPECT_EQ(reference, run_signature(seed, threads))
+        << "seed=" << seed << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdesFuzz, ::testing::Range(0, kNumSeeds));
+
+}  // namespace
+}  // namespace massf

@@ -145,6 +145,37 @@ TEST(Engine, EventRates) {
   EXPECT_DOUBLE_EQ(rates[1], 25);
 }
 
+TEST(Engine, EventRatesZeroWallClock) {
+  // modeled_wall_s == 0 (a zero-event run) must yield all-zero rates, not
+  // a division by zero.
+  RunStats stats;
+  stats.events_per_lp = {3, 1};
+  stats.modeled_wall_s = 0.0;
+  const auto rates = stats.event_rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 0);
+  EXPECT_DOUBLE_EQ(rates[1], 0);
+}
+
+TEST(Engine, EmptyRunBothExecutors) {
+  // A run with no events at all: no windows open, the horizon is reported,
+  // and every derived statistic is finite under both executors.
+  for (const bool threaded : {false, true}) {
+    Engine engine(base_options());
+    engine.add_lp(std::make_unique<RecordingLp>());
+    engine.add_lp(std::make_unique<RecordingLp>());
+    const RunStats stats = threaded ? engine.run_threaded(2) : engine.run();
+    EXPECT_EQ(stats.total_events, 0u);
+    EXPECT_EQ(stats.num_windows, 0u);
+    EXPECT_EQ(stats.end_vtime, base_options().end_time);
+    EXPECT_DOUBLE_EQ(stats.modeled_wall_s, 0.0);
+    const auto rates = stats.event_rates();
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0], 0);
+    EXPECT_DOUBLE_EQ(rates[1], 0);
+  }
+}
+
 TEST(Engine, LoadBinsRecorded) {
   EngineOptions o = base_options();
   o.load_bin = milliseconds(100);
@@ -262,6 +293,95 @@ TEST(EngineDeath, CrossLpViolationAborts) {
       "MASSF_CHECK");
 }
 
+// ---- conservative contract, both executors ------------------------------
+
+// Engine::schedule must reject a cross-LP send that lands inside the open
+// window and accept one at exactly the window end — under both executors,
+// and also from a barrier hook. The dynamic-claiming executor must enforce
+// the identical contract: the violation is a modeling error (the
+// partition's MLL was computed wrong), not a scheduling artifact.
+
+void run_cross_lp_violation(bool threaded) {
+  Engine engine(base_options());
+  auto lp = std::make_unique<RecordingLp>();
+  lp->relay_to = 1;
+  lp->channel_latency = microseconds(10);  // < lookahead: illegal
+  engine.add_lp(std::move(lp));
+  engine.add_lp(std::make_unique<RecordingLp>());
+  engine.schedule(0, milliseconds(1), 1);
+  if (threaded) {
+    engine.run_threaded(2);
+  } else {
+    engine.run();
+  }
+}
+
+TEST(EngineDeath, CrossLpViolationAbortsThreaded) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(run_cross_lp_violation(true), "MASSF_CHECK");
+}
+
+TEST(Engine, CrossLpAtExactWindowEndAccepted) {
+  // channel latency == lookahead puts the arrival at exactly the end of
+  // the window the send was made in — the legal limit of the contract.
+  for (const bool threaded : {false, true}) {
+    Engine engine(base_options());
+    auto lp0 = std::make_unique<RecordingLp>();
+    auto lp1 = std::make_unique<RecordingLp>();
+    RecordingLp* p1 = lp1.get();
+    lp0->relay_to = 1;
+    lp0->channel_latency = base_options().lookahead;
+    engine.add_lp(std::move(lp0));
+    engine.add_lp(std::move(lp1));
+    // The event executes at the window floor, so floor + lookahead is
+    // exactly window_end.
+    engine.schedule(0, milliseconds(5), 1, 7);
+    if (threaded) {
+      engine.run_threaded(2);
+    } else {
+      engine.run();
+    }
+    ASSERT_EQ(p1->records.size(), 1u) << (threaded ? "threaded" : "sequential");
+    EXPECT_EQ(p1->records[0].time, milliseconds(6));
+    EXPECT_EQ(p1->records[0].a, 8u);
+  }
+}
+
+void run_hook_injection_at(SimTime offset_from_window_end, bool threaded) {
+  EngineOptions o = base_options();
+  Engine engine(o);
+  auto lp = std::make_unique<RecordingLp>();
+  lp->self_chain = 10;
+  lp->local_delay = milliseconds(2);
+  engine.add_lp(std::move(lp));
+  engine.schedule(0, milliseconds(1), 3);
+  bool injected = false;
+  engine.set_barrier_hook([&](Engine& eng, SimTime floor) {
+    if (!injected) {
+      injected = true;
+      eng.schedule(0, floor + eng.options().lookahead + offset_from_window_end,
+                   9);
+    }
+  });
+  if (threaded) {
+    engine.run_threaded(2);
+  } else {
+    engine.run();
+  }
+}
+
+TEST(Engine, HookInjectionAtWindowEndAccepted) {
+  for (const bool threaded : {false, true}) {
+    run_hook_injection_at(0, threaded);  // exactly window end: legal
+  }
+}
+
+TEST(EngineDeath, HookInjectionInsideWindowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(run_hook_injection_at(-1, false), "MASSF_CHECK");
+  ASSERT_DEATH(run_hook_injection_at(-1, true), "MASSF_CHECK");
+}
+
 // ---- threaded executor -------------------------------------------------
 
 struct PingPongLp final : public LogicalProcess {
@@ -346,6 +466,9 @@ TEST(ThreadedEngine, BitIdenticalStatsWithHooksAndStop) {
   EXPECT_EQ(seq.busy_s, thr.busy_s);
   EXPECT_EQ(seq.modeled_wall_s, thr.modeled_wall_s);
   EXPECT_EQ(seq.modeled_sync_s, thr.modeled_sync_s);
+  EXPECT_EQ(seq.cross_lp_events, thr.cross_lp_events);
+  EXPECT_EQ(seq.merge_batches, thr.merge_batches);
+  EXPECT_GT(seq.cross_lp_events, 0u);  // the workload really crosses LPs
   EXPECT_EQ(seq.num_windows, 100u);  // the stop took effect, not the horizon
 }
 
