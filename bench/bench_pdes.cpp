@@ -10,6 +10,12 @@
 //
 // Usage: bench_pdes [--lps=32] [--chain=64] [--hops=2000] [--threads=N]
 //                   [--sweep=1,2,4] [--repeats=3] [--out=BENCH_pdes.json]
+//                   [--print-golden]
+//
+// --print-golden runs the sequential reference once and prints only the
+// workload checksum — the value pinned by BENCH_pdes.json, the checkpoint
+// golden test, and scripts/check_bench.py (regenerate it after an
+// intentional workload change with tests/regen_golden.sh).
 //
 // --sweep runs the threaded executor at each listed thread count (in
 // addition to the sequential reference and the --threads run) and records
@@ -195,6 +201,12 @@ int main(int argc, char** argv) {
   if (threads < 1 || repeats < 1) {
     std::fprintf(stderr, "[bench_pdes] --threads and --repeats must be >= 1\n");
     return 2;
+  }
+
+  if (flags.get_bool("print-golden", false)) {
+    const Measurement m = measure(w, /*threads=*/0, /*repeats=*/1);
+    std::printf("%llu\n", static_cast<unsigned long long>(m.checksum));
+    return 0;
   }
 
   std::fprintf(stderr,

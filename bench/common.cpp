@@ -46,6 +46,28 @@ std::vector<MatrixEntry> run_matrix(bool multi_as,
   const char* metrics_path = metrics_export_path();
   obs::Registry registry;
 
+  // Nightly checkpoint phases: with MASSF_CKPT_DIR set and
+  // MASSF_CKPT_PHASE=save, every measured run checkpoints every
+  // MASSF_CKPT_EVERY windows (default 200) into a per-run file and stops at
+  // the first write; with MASSF_CKPT_PHASE=resume, each run restores from
+  // its file and runs to completion — the two-step nightly exercises the
+  // full massf.ckpt.v1 round trip at figure scale.
+  const char* ckpt_dir = std::getenv("MASSF_CKPT_DIR");
+  const char* ckpt_phase_env = std::getenv("MASSF_CKPT_PHASE");
+  const std::string ckpt_phase = ckpt_phase_env ? ckpt_phase_env : "";
+  if (!ckpt_phase.empty() && ckpt_phase != "save" && ckpt_phase != "resume") {
+    std::fprintf(stderr, "[bench] bad MASSF_CKPT_PHASE '%s' (save|resume)\n",
+                 ckpt_phase.c_str());
+    std::exit(2);
+  }
+  if (!ckpt_phase.empty() && ckpt_dir == nullptr) {
+    std::fprintf(stderr, "[bench] MASSF_CKPT_PHASE requires MASSF_CKPT_DIR\n");
+    std::exit(2);
+  }
+  const char* every_env = std::getenv("MASSF_CKPT_EVERY");
+  const std::uint64_t ckpt_every =
+      every_env ? std::strtoull(every_env, nullptr, 10) : 200;
+
   std::vector<MatrixEntry> entries;
   for (const AppKind app : apps) {
     ScenarioOptions options = experiment_options(multi_as, app);
@@ -55,6 +77,21 @@ std::vector<MatrixEntry> run_matrix(bool multi_as,
       std::fprintf(stderr, "[bench] %s / %s / %s...\n",
                    multi_as ? "multi-AS" : "single-AS", app_kind_name(app),
                    mapping_kind_name(kind));
+      if (!ckpt_phase.empty()) {
+        const std::string file = std::string(ckpt_dir) + "/" +
+                                 (multi_as ? "multi" : "single") + "_" +
+                                 app_kind_name(app) + "_" +
+                                 mapping_kind_name(kind) + ".ckpt";
+        CkptOptions ck;
+        if (ckpt_phase == "save") {
+          ck.every_windows = ckpt_every;
+          ck.path = file;
+          ck.stop_after = true;
+        } else {
+          ck.restore_path = file;
+        }
+        scenario.set_ckpt(ck);
+      }
       entries.push_back({app, kind, scenario.run(kind)});
     }
   }

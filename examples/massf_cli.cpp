@@ -5,6 +5,14 @@
 //   ./massf_cli --config=exp.dml [--mapping=HPROF,TOP2] [--all-metrics]
 //
 // With no --mapping, runs the paper's main four (HPROF, PROF2, HTOP, TOP2).
+//
+// Checkpoint/restore (format massf.ckpt.v1, DESIGN.md section 5e):
+//   --ckpt-every=N --ckpt-path=f.ckpt [--ckpt-stop]   # snapshot every N
+//                                                     # windows (optionally
+//                                                     # stop at the first)
+//   --restore=f.ckpt                                  # resume from snapshot
+// Both require exactly one --mapping: a checkpoint captures one run, and a
+// restored run must rebuild the identical stack before loading it.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -78,6 +86,25 @@ int main(int argc, char** argv) {
     kinds = {MappingKind::kHProf, MappingKind::kProf2, MappingKind::kHTop,
              MappingKind::kTop2};
   }
+
+  CkptOptions ckpt;
+  ckpt.every_windows =
+      static_cast<std::uint64_t>(flags.get_int("ckpt-every", 0));
+  ckpt.path = flags.get_string("ckpt-path", "");
+  ckpt.stop_after = flags.get_bool("ckpt-stop", false);
+  ckpt.restore_path = flags.get_string("restore", "");
+  if (ckpt.every_windows > 0 && ckpt.path.empty()) {
+    std::fprintf(stderr, "--ckpt-every requires --ckpt-path\n");
+    return 1;
+  }
+  if ((ckpt.every_windows > 0 || !ckpt.restore_path.empty()) &&
+      kinds.size() != 1) {
+    std::fprintf(stderr,
+                 "checkpoint/restore requires exactly one --mapping "
+                 "(a snapshot captures a single run)\n");
+    return 1;
+  }
+  opts.ckpt = ckpt;
 
   std::printf("experiment: %s, %d routers, %d hosts, %d engines, app=%s, "
               "%.1f virtual seconds\n",

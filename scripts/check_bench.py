@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regression gate: compare a fresh `bench_pdes --json` run to BENCH_pdes.json.
+
+Two classes of check:
+  * Determinism (exact): every executor entry must report the pinned golden
+    checksum plus the exact event and window counts. Any drift means the
+    event-ordering contract changed — see tests/regen_golden.sh before
+    re-pinning.
+  * Throughput (tolerant): events/s may regress by at most --tolerance
+    (fractional, default 0.5 — CI runners are noisy and slower than the
+    machine that produced the baseline; the gate exists to catch order-of-
+    magnitude cliffs, not single-digit noise).
+
+Usage:
+  bench_pdes --out current.json   # NOT the default --out, which would
+                                  # overwrite the committed baseline
+  scripts/check_bench.py [--baseline BENCH_pdes.json] [--current current.json]
+                         [--tolerance 0.5]
+
+Exit status: 0 on pass, 1 on any failed check, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def entries(doc):
+    """Yield (label, entry) for every executor measurement in a report."""
+    yield "sequential", doc["sequential"]
+    yield "threaded", doc["threaded"]
+    for sweep in doc.get("sweep", []):
+        yield f"sweep[threads={sweep['threads']}]", sweep
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_pdes.json")
+    parser.add_argument("--current", default="current.json")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="max fractional events/s regression (default 0.5)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot load input: {e}", file=sys.stderr)
+        return 2
+
+    for doc, name in ((baseline, args.baseline), (current, args.current)):
+        if doc.get("schema") != "massf.bench_pdes.v2":
+            print(f"check_bench: {name}: unexpected schema "
+                  f"{doc.get('schema')!r}", file=sys.stderr)
+            return 2
+
+    golden = baseline["sequential"]["checksum"]
+    golden_events = baseline["sequential"]["events"]
+    golden_windows = baseline["sequential"]["windows"]
+    failures = []
+
+    # Determinism: exact, for every entry in the current report.
+    for label, entry in entries(current):
+        for field, want in (("checksum", golden), ("events", golden_events),
+                            ("windows", golden_windows)):
+            if entry[field] != want:
+                failures.append(
+                    f"{label}: {field} {entry[field]} != golden {want}")
+
+    # Throughput: compare matching thread counts (runner core counts differ,
+    # so sweep entries absent from either report are skipped, not failed).
+    base_by_threads = {e["threads"]: (label, e)
+                       for label, e in entries(baseline)}
+    for label, entry in entries(current):
+        match = base_by_threads.get(entry["threads"])
+        if match is None:
+            print(f"check_bench: note: no baseline for {label}, "
+                  f"skipping throughput check", file=sys.stderr)
+            continue
+        floor = match[1]["events_per_sec"] * (1.0 - args.tolerance)
+        if entry["events_per_sec"] < floor:
+            failures.append(
+                f"{label}: {entry['events_per_sec']:.0f} events/s is below "
+                f"{floor:.0f} (baseline {match[1]['events_per_sec']:.0f} "
+                f"minus {args.tolerance:.0%} tolerance)")
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK — checksum {golden}, "
+          f"{sum(1 for _ in entries(current))} entries within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

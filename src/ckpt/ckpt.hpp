@@ -1,0 +1,253 @@
+// Deterministic checkpoint/restore container (format `massf.ckpt.v1`).
+//
+// A checkpoint snapshots the full simulation at a synchronization-window
+// boundary — the only instant at which every logical process is quiescent,
+// all outboxes are empty, and shared state (routing tables, fault cursors)
+// is between mutations. The container is a flat list of named binary
+// sections, one per participant (the PDES engine, NetSim, the traffic
+// components, routing, fault cursors, the window probe), preceded by a
+// fixed header carrying a version tag and an FNV-1a checksum of the whole
+// payload, so a torn or corrupted file is rejected before any state is
+// touched.
+//
+// Encoding rules: all integers are little-endian fixed width; doubles are
+// bit-cast to std::uint64_t (restore must be bit-identical, so no decimal
+// round-trips); containers are length-prefixed. Writers append, readers
+// bounds-check every access and latch a failure flag instead of reading
+// past the end — a malformed section yields load failure, never UB.
+//
+// The subsystem deliberately has no knowledge of the components it
+// serializes: components implement save(Writer&)/load(Reader&) pairs and a
+// driver (Scenario, the chaos harness, a test) lists them in a
+// Participants registry keyed by section name. Restoring into a freshly
+// constructed stack overwrites exactly the state that can diverge from
+// construction, which is what makes a resumed run bit-identical to the
+// uninterrupted one (DESIGN.md section 5e).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace massf::ckpt {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// FNV-1a over a byte range (the header checksum).
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size);
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Bit-exact double encoding (no decimal round trip).
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(const std::uint8_t* data, std::size_t size) {
+    buf_.insert(buf_.end(), data, data + size);
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked view over a section's bytes. A read past the end latches
+/// `ok() == false` and returns zero values; callers check once at the end.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ensure(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool skip(std::size_t n) {
+    if (!ensure(n)) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  /// True when the section was consumed exactly (no trailing bytes) and no
+  /// read ever ran past the end — the per-section load postcondition.
+  bool done() const { return ok_ && pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// The container: named sections under a checksummed header.
+class Checkpoint {
+ public:
+  /// Starts a new section; the returned writer stays valid until the next
+  /// add_section/serialize call. Section names must be unique.
+  Writer& add_section(std::string name);
+
+  bool has_section(std::string_view name) const;
+  /// Reader over a section's bytes; nullopt when absent.
+  std::optional<Reader> section(std::string_view name) const;
+
+  const std::vector<std::string> section_names() const;
+
+  /// Serializes header + sections (format massf.ckpt.v1).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a serialized container, verifying magic, version, and payload
+  /// checksum. On failure returns nullopt and sets `error`.
+  static std::optional<Checkpoint> parse(const std::uint8_t* data,
+                                         std::size_t size,
+                                         std::string* error = nullptr);
+
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+  static std::optional<Checkpoint> read_file(const std::string& path,
+                                             std::string* error = nullptr);
+
+  /// Writes an already-serialized image (lets callers that need the byte
+  /// count — e.g. for the ckpt.bytes metric — serialize exactly once).
+  static bool write_bytes(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes,
+                          std::string* error = nullptr);
+
+ private:
+  struct Section {
+    std::string name;
+    Writer writer;
+  };
+  std::vector<Section> sections_;
+};
+
+/// An ordered list of named save/load pairs — the driver-side inventory of
+/// everything a checkpoint must capture. Restore requires every registered
+/// section to be present and to parse cleanly.
+class Participants {
+ public:
+  using SaveFn = std::function<void(Writer&)>;
+  using LoadFn = std::function<bool(Reader&)>;
+
+  /// `load` returns false on a semantic mismatch (e.g. LP count changed);
+  /// format-level failures are caught via Reader::done() afterwards.
+  void add(std::string name, SaveFn save, LoadFn load);
+
+  void save(Checkpoint& ckpt) const;
+
+  /// Restores every participant from `ckpt`; stops at the first failure and
+  /// reports the offending section in `error`.
+  bool restore(const Checkpoint& ckpt, std::string* error = nullptr) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    SaveFn save;
+    LoadFn load;
+  };
+  std::vector<Entry> entries_;
+};
+
+// ---- vector helpers (fixed-width element encodings) ------------------------
+
+template <typename T>
+void write_u64_vec(Writer& w, const std::vector<T>& v) {
+  w.u64(v.size());
+  for (const T& x : v) w.u64(static_cast<std::uint64_t>(x));
+}
+
+template <typename T>
+bool read_u64_vec(Reader& r, std::vector<T>& v) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ULL << 32)) return false;
+  v.resize(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<T>(r.u64());
+  return r.ok();
+}
+
+inline void write_f64_vec(Writer& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  for (const double x : v) w.f64(x);
+}
+
+inline bool read_f64_vec(Reader& r, std::vector<double>& v) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ULL << 32)) return false;
+  v.resize(static_cast<std::size_t>(n));
+  for (auto& x : v) x = r.f64();
+  return r.ok();
+}
+
+inline void write_char_vec(Writer& w, const std::vector<char>& v) {
+  w.u64(v.size());
+  for (const char x : v) w.u8(static_cast<std::uint8_t>(x));
+}
+
+inline bool read_char_vec(Reader& r, std::vector<char>& v) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ULL << 32)) return false;
+  v.resize(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<char>(r.u8());
+  return r.ok();
+}
+
+}  // namespace massf::ckpt

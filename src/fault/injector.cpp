@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hpp"
 #include "util/check.hpp"
 
 namespace massf {
@@ -146,6 +147,37 @@ void FaultInjector::publish_metrics(obs::Registry& registry) const {
   for (const BgpReconvergence& r : bgp_reconverge_) {
     if (r.settle_s >= 0) bgp.observe(r.settle_s);
   }
+}
+
+void FaultInjector::save(ckpt::Writer& w) const {
+  w.u64(injected_);
+  for (const std::uint64_t c : count_) w.u64(c);
+  ckpt::write_f64_vec(w, ospf_reconverge_s_);
+  w.u64(bgp_reconverge_.size());
+  for (const BgpReconvergence& r : bgp_reconverge_) {
+    w.i64(r.at);
+    w.f64(r.settle_s);
+  }
+  w.i64(last_bgp_change_seen_);
+  MASSF_CHECK(controller_ != nullptr && "save() requires arm()");
+  controller_->save(w);
+}
+
+bool FaultInjector::load(ckpt::Reader& r) {
+  if (controller_ == nullptr) return false;  // must be armed first
+  injected_ = r.u64();
+  for (std::uint64_t& c : count_) c = r.u64();
+  if (!ckpt::read_f64_vec(r, ospf_reconverge_s_)) return false;
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ULL << 32)) return false;
+  bgp_reconverge_.assign(static_cast<std::size_t>(n), BgpReconvergence{});
+  for (BgpReconvergence& b : bgp_reconverge_) {
+    b.at = r.i64();
+    b.settle_s = r.f64();
+  }
+  last_bgp_change_seen_ = r.i64();
+  if (!r.ok()) return false;
+  return controller_->load(r);
 }
 
 }  // namespace massf

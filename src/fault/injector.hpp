@@ -83,6 +83,14 @@ class FaultInjector {
   /// injector was armed with.
   void publish_metrics(obs::Registry& registry) const;
 
+  /// Checkpoint hooks (ckpt/ckpt.hpp): injection counters, reconvergence
+  /// records, the BGP-change cursor, and the owned FailoverController's
+  /// pending changes. The injector must be armed (with the same schedule)
+  /// before load() — arming rebuilds the hooks and initial events, restore
+  /// then overwrites the mutable cursors.
+  void save(ckpt::Writer& writer) const;
+  bool load(ckpt::Reader& reader);
+
  private:
   void on_barrier(Engine& engine, SimTime window_start);
 

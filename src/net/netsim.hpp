@@ -199,6 +199,17 @@ class NetSim {
   /// Internal: event dispatch, called by the per-LP adapters.
   void handle(Engine& engine, const Event& ev);
 
+  /// Checkpoint hooks (ckpt/ckpt.hpp): serialize everything that diverges
+  /// from construction — interface busy/up state, node up state, loss-burst
+  /// cursors, link byte counters, per-LP TCP senders/receivers, packet
+  /// counters, and flow records. Topology, forwarding, and the node→LP
+  /// mapping are rebuilt by the driver; load() returns false when the
+  /// checkpoint's shape disagrees with the constructed instance. Call at a
+  /// window boundary only (no packets are in flight inside the object —
+  /// they live in the engine's event queues, captured separately).
+  void save(ckpt::Writer& writer) const;
+  bool load(ckpt::Reader& reader);
+
  private:
   struct LpState {
     std::vector<TcpSender> senders;

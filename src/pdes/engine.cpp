@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "ckpt/ckpt.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "util/check.hpp"
@@ -10,6 +11,9 @@
 namespace massf {
 
 thread_local Engine::HandlerCtx Engine::tls_ctx_;
+
+void LogicalProcess::save(ckpt::Writer&) const {}
+bool LogicalProcess::load(ckpt::Reader&) { return true; }
 
 namespace {
 using Clock = std::chrono::steady_clock;
@@ -212,12 +216,119 @@ void Engine::begin_run() {
   MASSF_CHECK(!running_);
   running_ = true;
   stop_requested_.store(false, std::memory_order_relaxed);
+  if (restored_) {
+    // Resuming from a checkpoint: stats_ already holds the tallies the
+    // interrupted run accumulated up to the boundary (restore_state). The
+    // resumed run keeps accumulating into them; zeroing here would make the
+    // final RunStats diverge from the uninterrupted run.
+    restored_ = false;
+    return;
+  }
   stats_ = RunStats{};
   stats_.events_per_lp.assign(lps_.size(), 0);
   stats_.busy_s.assign(lps_.size(), 0.0);
   if (opts_.load_bin > 0) {
     stats_.lp_load.assign(lps_.size(), TimeSeries(to_seconds(opts_.load_bin)));
   }
+  last_ckpt_window_ = 0;
+}
+
+void Engine::maybe_checkpoint(SimTime floor) {
+  if (ckpt_every_ == 0 || !ckpt_fn_) return;
+  const std::uint64_t w = stats_.num_windows;
+  if (w == 0 || w % ckpt_every_ != 0 || w == last_ckpt_window_) return;
+  // Updated before the hook runs so save_state records it: a restored run
+  // must not re-fire at the boundary it resumed from.
+  last_ckpt_window_ = w;
+  ckpt_fn_(*this, floor);
+}
+
+void Engine::save_state(ckpt::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(lps_.size()));
+  w.i64(opts_.lookahead);
+  w.i64(opts_.end_time);
+  w.u8(opts_.load_bin > 0 ? 1 : 0);
+  w.u64(stats_.num_windows);
+  w.u64(last_ckpt_window_);
+  w.f64(stats_.modeled_wall_s);
+  w.f64(stats_.modeled_sync_s);
+  w.u64(stats_.cross_lp_events);
+  w.u64(stats_.merge_batches);
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    const Lp& lp = lps_[i];
+    w.u64(lp.next_seq);
+    w.u64(lp.events);
+    w.f64(stats_.busy_s[i]);
+    if (opts_.load_bin > 0) ckpt::write_f64_vec(w, stats_.lp_load[i].bins());
+    // Pending events in (time, seq) order — canonical, heap-shape-free.
+    const std::vector<Event> pending = lp.queue.sorted_events();
+    w.u64(pending.size());
+    for (const Event& ev : pending) {
+      w.i64(ev.time);
+      w.u64(ev.seq);
+      w.i32(ev.lp);
+      w.i32(ev.type);
+      w.u64(ev.a);
+      w.u64(ev.b);
+      w.u64(ev.c);
+      w.u64(ev.d);
+    }
+    lp.process->save(w);
+  }
+}
+
+bool Engine::restore_state(ckpt::Reader& r) {
+  MASSF_CHECK(!running_);
+  if (r.u32() != lps_.size()) return false;
+  if (r.i64() != opts_.lookahead) return false;
+  if (r.i64() != opts_.end_time) return false;
+  const bool has_load = r.u8() != 0;
+  if (has_load != (opts_.load_bin > 0)) return false;
+  stats_ = RunStats{};
+  stats_.events_per_lp.assign(lps_.size(), 0);
+  stats_.busy_s.assign(lps_.size(), 0.0);
+  if (has_load) {
+    stats_.lp_load.assign(lps_.size(), TimeSeries(to_seconds(opts_.load_bin)));
+  }
+  stats_.num_windows = r.u64();
+  last_ckpt_window_ = r.u64();
+  stats_.modeled_wall_s = r.f64();
+  stats_.modeled_sync_s = r.f64();
+  stats_.cross_lp_events = r.u64();
+  stats_.merge_batches = r.u64();
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    Lp& lp = lps_[i];
+    lp.next_seq = r.u64();
+    lp.events = r.u64();
+    stats_.busy_s[i] = r.f64();
+    if (has_load) {
+      std::vector<double> bins;
+      if (!ckpt::read_f64_vec(r, bins)) return false;
+      stats_.lp_load[i].load_bins(std::move(bins));
+    }
+    const std::uint64_t pending = r.u64();
+    if (!r.ok() || pending > (1ULL << 40)) return false;
+    lp.queue.clear();
+    for (std::uint64_t k = 0; k < pending; ++k) {
+      Event ev;
+      ev.time = r.i64();
+      ev.seq = r.u64();
+      ev.lp = r.i32();
+      ev.type = r.i32();
+      ev.a = r.u64();
+      ev.b = r.u64();
+      ev.c = r.u64();
+      ev.d = r.u64();
+      if (!r.ok()) return false;
+      lp.queue.push(ev);
+    }
+    lp.window_events = 0;
+    lp.outbox.clear();
+    if (!lp.process->load(r)) return false;
+  }
+  if (!r.ok()) return false;
+  restored_ = true;
+  return true;
 }
 
 void Engine::finish_run(SimTime floor) {
@@ -237,6 +348,8 @@ RunStats Engine::run() {
   const LpId n = static_cast<LpId>(lps_.size());
   SimTime floor = next_event_floor();
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
+    maybe_checkpoint(floor);
+    if (stop_requested()) break;  // ckpt hook may checkpoint-then-exit
     window_end_ = floor + opts_.lookahead;
     if (probe_ == nullptr) {
       run_barrier_hooks(floor);

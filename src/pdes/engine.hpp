@@ -36,6 +36,11 @@ class Registry;
 class WindowProbe;
 }  // namespace obs
 
+namespace ckpt {
+class Reader;
+class Writer;
+}  // namespace ckpt
+
 class Engine;
 
 /// One logical process: a simulation engine node owning a partition of the
@@ -45,6 +50,14 @@ class LogicalProcess {
  public:
   virtual ~LogicalProcess() = default;
   virtual void handle(Engine& engine, const Event& event) = 0;
+
+  /// Checkpoint hooks (ckpt/ckpt.hpp): serialize every member that can
+  /// diverge from construction — RNG positions, counters, per-flow state.
+  /// Called at a window boundary while no events are in flight. The default
+  /// is correct only for stateless LPs. load() returns false on a semantic
+  /// mismatch (the checkpoint was taken with a different topology/config).
+  virtual void save(ckpt::Writer& writer) const;
+  virtual bool load(ckpt::Reader& reader);
 };
 
 struct EngineOptions {
@@ -173,6 +186,33 @@ class Engine {
   /// DESIGN.md). Null (the default) publishes nothing.
   void set_registry(obs::Registry* registry) { registry_ = registry; }
 
+  /// Arms the checkpoint hook: every `every_windows` completed windows the
+  /// engine invokes `fn(engine, floor)` at the window boundary, *before*
+  /// that boundary's barrier hooks run — the state captured is exactly what
+  /// a restored run recomputes before re-running the same boundary's hooks.
+  /// Runs on the coordinator thread under both executors, outside any
+  /// handler; the fn typically drives Participants::save + a file write and
+  /// may call request_stop() to end the run at this boundary (checkpoint-
+  /// then-exit). every_windows == 0 disarms.
+  void set_ckpt_hook(std::uint64_t every_windows,
+                     std::function<void(Engine&, SimTime)> fn) {
+    ckpt_every_ = every_windows;
+    ckpt_fn_ = std::move(fn);
+  }
+
+  /// Serializes engine-owned run state: per-LP pending events in (time,
+  /// seq) order, seq counters, event counts, the accumulated RunStats, and
+  /// each LogicalProcess's own state via its save() hook. Call only from a
+  /// ckpt hook (window boundary).
+  void save_state(ckpt::Writer& writer) const;
+
+  /// Restores state saved by save_state() into an identically constructed
+  /// engine (same LPs in the same order, same options). The next run()/
+  /// run_threaded() call resumes from the checkpointed boundary and
+  /// produces the same event trace as the uninterrupted run. Returns false
+  /// on shape mismatch (LP count / lookahead / load_bin differ).
+  bool restore_state(ckpt::Reader& reader);
+
  private:
   struct Lp {
     std::unique_ptr<LogicalProcess> process;
@@ -199,6 +239,11 @@ class Engine {
   void account_window();
   void process_lp_window(LpId i);
   void run_barrier_hooks(SimTime floor);
+  /// Fires the ckpt hook when the boundary at `floor` completes a multiple
+  /// of ckpt_every_ windows. Coordinator-only, before the boundary's
+  /// barrier hooks. last_ckpt_window_ keeps a restored run from re-saving
+  /// (or re-stopping) at the boundary it just resumed from.
+  void maybe_checkpoint(SimTime floor);
   void probe_window(SimTime floor);
   void publish_run_metrics();
   bool stop_requested() const {
@@ -219,6 +264,12 @@ class Engine {
   std::vector<std::function<void(Engine&, SimTime)>> barrier_hooks_;
   obs::WindowProbe* probe_ = nullptr;
   obs::Registry* registry_ = nullptr;
+  std::uint64_t ckpt_every_ = 0;
+  std::function<void(Engine&, SimTime)> ckpt_fn_;
+  std::uint64_t last_ckpt_window_ = 0;
+  /// Set by restore_state; makes the next begin_run keep the restored
+  /// RunStats instead of zeroing them (consumed by that run).
+  bool restored_ = false;
 
   void begin_run();
   void finish_run(SimTime floor);

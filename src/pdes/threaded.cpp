@@ -96,6 +96,10 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
 
   SimTime floor = next_event_floor();
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
+    // Coordinator-only: workers are parked at the open gate, so the ckpt
+    // hook sees the same quiescent boundary the sequential executor does.
+    maybe_checkpoint(floor);
+    if (stop_requested()) break;  // ckpt hook may checkpoint-then-exit
     window_end_ = floor + opts_.lookahead;
     process_claim.store(0, std::memory_order_relaxed);
     merge_claim.store(0, std::memory_order_relaxed);

@@ -20,6 +20,11 @@
 #include "routing/ospf.hpp"
 #include "topology/network.hpp"
 
+namespace massf::ckpt {
+class Reader;
+class Writer;
+}  // namespace massf::ckpt
+
 namespace massf {
 
 class ForwardingPlane {
@@ -74,6 +79,14 @@ class ForwardingPlane {
   /// Recomputes every routing table under the current link states (the
   /// SPF run after the flooding delay). Mutate-at-barrier only.
   void reconverge();
+
+  /// Checkpoint hooks (ckpt/ckpt.hpp): only the failed-link set is
+  /// serialized. Restore replays it through set_link_state + reconverge,
+  /// which rebuilds every OSPF table and egress selection — the tables are
+  /// pure functions of (topology, down-set), so replay reproduces them
+  /// exactly without serializing them wholesale.
+  void save(ckpt::Writer& writer) const;
+  bool load(ckpt::Reader& reader);
 
  private:
   explicit ForwardingPlane(const Network& net);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hpp"
 #include "util/check.hpp"
 
 namespace massf {
@@ -49,6 +50,31 @@ void FailoverController::on_barrier(Engine&, SimTime window_start) {
     fp_->reconverge();
     ++reconvergences_;
   }
+}
+
+void FailoverController::save(ckpt::Writer& w) const {
+  w.u64(pending_.size());
+  for (const Pending& p : pending_) {
+    w.i64(p.at);
+    w.i32(p.link);
+    w.u8(p.up ? 1 : 0);
+    w.i64(p.requested_at);
+  }
+  w.i32(reconvergences_);
+}
+
+bool FailoverController::load(ckpt::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ULL << 32)) return false;
+  pending_.assign(static_cast<std::size_t>(n), Pending{});
+  for (Pending& p : pending_) {
+    p.at = r.i64();
+    p.link = r.i32();
+    p.up = r.u8() != 0;
+    p.requested_at = r.i64();
+  }
+  reconvergences_ = r.i32();
+  return r.ok();
 }
 
 }  // namespace massf

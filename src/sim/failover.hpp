@@ -46,6 +46,12 @@ class FailoverController {
                                         bool up, SimTime requested_at)>;
   void set_observer(ObserverFn fn) { observer_ = std::move(fn); }
 
+  /// Checkpoint hooks (ckpt/ckpt.hpp): the not-yet-applied control-plane
+  /// changes and the reconvergence count. The ForwardingPlane itself is a
+  /// separate participant.
+  void save(ckpt::Writer& writer) const;
+  bool load(ckpt::Reader& reader);
+
  private:
   struct Pending {
     SimTime at;

@@ -6,9 +6,11 @@
 // examples drive this class.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cluster/metrics.hpp"
@@ -31,6 +33,20 @@ class WindowProbe;
 enum class AppKind { kNone, kScaLapack, kGridNpb };
 
 const char* app_kind_name(AppKind kind);
+
+/// Checkpoint/restore orchestration for the measured run (format
+/// massf.ckpt.v1, DESIGN.md section 5e). With `every_windows > 0` the run
+/// writes the full simulation state to `path` every that many
+/// synchronization windows (optionally stopping at the first write); with
+/// `restore_path` set the run rebuilds the stack as usual, then overwrites
+/// the mutable state from the file before executing — resuming the
+/// interrupted run with a bit-identical event trace and final statistics.
+struct CkptOptions {
+  std::uint64_t every_windows = 0;  ///< 0 = checkpointing off
+  std::string path;                 ///< file written at each firing
+  bool stop_after = false;          ///< clean stop once the file is written
+  std::string restore_path;         ///< when set, restore before running
+};
 
 struct ScenarioOptions {
   bool multi_as = false;
@@ -64,6 +80,7 @@ struct ScenarioOptions {
   std::uint64_t seed = 42;
   NetSimOptions netsim;
   MappingOptions mapping;  ///< kind/num_engines/cluster are overridden
+  CkptOptions ckpt;        ///< measured-run checkpointing (off by default)
 
   // ---- telemetry (obs/) ----------------------------------------------------
   /// When set, the measured run publishes engine/net/traffic/sim metrics
@@ -107,6 +124,11 @@ class Scenario {
   /// Full simulation under a mapping.
   ExperimentResult run(const Mapping& mapping);
   ExperimentResult run(MappingKind kind) { return run(mapping_for(kind)); }
+
+  /// Replaces the checkpoint options for subsequent run() calls, so one
+  /// Scenario can execute the interrupted phase and the restored phase
+  /// (same topology, host selection, and cached profile) back to back.
+  void set_ckpt(const CkptOptions& ckpt) { opts_.ckpt = ckpt; }
 
   /// Conservative lookahead of a router->engine assignment: the minimum
   /// latency over links whose endpoints land on different engines (host
