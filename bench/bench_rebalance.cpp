@@ -1,0 +1,374 @@
+// Imbalance-ramp benchmark: online rebalancing vs a static HPROF mapping
+// on a phase-shifting workload (the paper's Figure 8 scenario, pushed past
+// what any static mapping can handle — see EXPERIMENTS.md).
+//
+// Topology: a ring of K pods. Each pod is one gateway router (with hosts
+// attached) followed by a chain of host-free transit routers; the chain
+// ends at the next pod's gateway, closing the ring. Every router-router
+// link has the same latency, so (a) the lookahead never shrinks when a
+// transit router changes engines and (b) every transit router is mobile
+// (no hosts, all incident links >= lookahead).
+//
+// Workload: a constant light background plus a heavy CBR stream whose
+// source pod rotates every phase. The profiling run only sees phase 0, so
+// the static HPROF mapping is tuned to a hot sector that moves away after
+// the first phase — per-engine load imbalance ramps, and modeled wall
+// clock (per window: max LP busy + sync) inflates. The rebalance
+// controller migrates transit routers at window boundaries to follow the
+// hot sector, paying the modeled migration cost.
+//
+// Output (--out): massf.bench_rebalance.v1 JSON — the static and
+// rebalanced runs, the modeled-time improvement fraction, the
+// sequential-vs-threaded full-signature equality of the rebalanced run,
+// and the rebalanced run's full massf.metrics.v1 export (including the
+// lb.rebalance.* block). Gated in CI by scripts/check_bench.py.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "lb/mapping.hpp"
+#include "lb/profile.hpp"
+#include "lb/rebalance.hpp"
+#include "net/netsim.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "routing/forwarding.hpp"
+#include "topology/network.hpp"
+#include "util/flags.hpp"
+
+namespace massf {
+namespace {
+
+struct Scale {
+  std::int32_t pods = 8;
+  std::int32_t transit_per_pod = 6;   ///< host-free (mobile) routers
+  std::int32_t hosts_per_gateway = 4;
+  std::int32_t engines = 4;
+  std::int32_t threads = 4;
+  std::int32_t phases = 8;
+  SimTime phase_len = milliseconds(250);
+  SimTime router_latency = microseconds(400);
+  SimTime hot_interval = microseconds(500);   ///< hot CBR datagram spacing
+  SimTime bg_interval = milliseconds(10);     ///< background spacing
+};
+
+std::int32_t pod_stride(const Scale& s) { return 1 + s.transit_per_pod; }
+NodeId gateway(const Scale& s, std::int32_t pod) {
+  return pod * pod_stride(s);
+}
+
+Network build_ring(const Scale& s) {
+  Network net;
+  net.num_routers = s.pods * pod_stride(s);
+  net.nodes.assign(static_cast<std::size_t>(net.num_routers), NetNode{});
+
+  const auto add_link = [&](NodeId a, NodeId b, SimTime latency,
+                            double bw_bps) {
+    NetLink l;
+    l.a = a;
+    l.b = b;
+    l.latency = latency;
+    l.bandwidth_bps = bw_bps;
+    net.links.push_back(l);
+  };
+
+  // Gateway -> transit chain -> next gateway; uniform latency keeps every
+  // transit router mobile whatever engine owns its neighbors.
+  for (std::int32_t pod = 0; pod < s.pods; ++pod) {
+    NodeId prev = gateway(s, pod);
+    for (std::int32_t t = 0; t < s.transit_per_pod; ++t) {
+      const NodeId transit = gateway(s, pod) + 1 + t;
+      add_link(prev, transit, s.router_latency, 10e9);
+      prev = transit;
+    }
+    add_link(prev, gateway(s, (pod + 1) % s.pods), s.router_latency, 10e9);
+  }
+
+  for (std::int32_t pod = 0; pod < s.pods; ++pod) {
+    for (std::int32_t h = 0; h < s.hosts_per_gateway; ++h) {
+      NetNode host;
+      host.kind = NodeKind::kHost;
+      host.attach_router = gateway(s, pod);
+      net.nodes.push_back(host);
+      add_link(static_cast<NodeId>(net.nodes.size()) - 1, gateway(s, pod),
+               microseconds(20), 1e9);
+    }
+  }
+  net.build_adjacency();
+  const std::string problem = net.validate();
+  MASSF_CHECK(problem.empty());
+  return net;
+}
+
+NodeId host_of(const Network& net, const Scale& s, std::int32_t pod,
+               std::int32_t h) {
+  return net.num_routers + pod * s.hosts_per_gateway + h;
+}
+
+/// Pre-schedules the whole workload (CBR is deterministic; no RNG, no
+/// callbacks — the benchmark isolates the load-balance story).
+void schedule_traffic(const Scale& s, const Network& net, Engine& engine,
+                      NetSim& sim) {
+  const SimTime end = s.phases * s.phase_len;
+  // Background: every host streams to its counterpart two pods over, all
+  // run long — keeps every transit chain warm so profiles are never zero.
+  for (std::int32_t pod = 0; pod < s.pods; ++pod) {
+    for (std::int32_t h = 0; h < s.hosts_per_gateway; ++h) {
+      const NodeId src = host_of(net, s, pod, h);
+      const NodeId dst = host_of(net, s, (pod + 2) % s.pods, h);
+      for (SimTime t = milliseconds(1) + h * microseconds(50); t < end;
+           t += s.bg_interval) {
+        sim.send_udp(engine, t, src, dst, 512, /*tag=*/0);
+      }
+    }
+  }
+  // The rotating hot sector: in phase p, pod p's hosts blast pod p+2 —
+  // the two transit chains between them carry the stream. The profiling
+  // run (phase 0 only) bakes phase 0's sector into the static mapping.
+  for (std::int32_t p = 0; p < s.phases; ++p) {
+    const std::int32_t src_pod = p % s.pods;
+    const std::int32_t dst_pod = (src_pod + 2) % s.pods;
+    const SimTime start = p * s.phase_len;
+    for (std::int32_t h = 0; h < s.hosts_per_gateway; ++h) {
+      const NodeId src = host_of(net, s, src_pod, h);
+      const NodeId dst = host_of(net, s, dst_pod, h);
+      for (SimTime t = start + h * microseconds(25);
+           t < start + s.phase_len; t += s.hot_interval) {
+        sim.send_udp(engine, t, src, dst, 1000, /*tag=*/1);
+      }
+    }
+  }
+}
+
+struct RunResult {
+  RunStats stats;
+  SimulationMetrics metrics;
+  RebalanceController::Totals rebalance;
+  std::string metrics_json;  ///< massf.metrics.v1 (rebalanced runs only)
+};
+
+RunResult run_once(const Scale& s, const Network& net,
+                   const ForwardingPlane& fp, const Mapping& mapping,
+                   const RebalanceOptions& ropts, std::int32_t threads) {
+  ClusterModel cluster;
+  cluster.num_engine_nodes = s.engines;
+
+  EngineOptions eo;
+  eo.lookahead = s.router_latency;
+  eo.cost_per_event_s = cluster.cost_per_event_s;
+  eo.sync_cost_s = cluster.sync_cost_s();
+  eo.end_time = s.phases * s.phase_len;
+  Engine engine(eo);
+
+  NetSimOptions no;
+  no.collect_node_profile = true;
+  NetSim sim(net, fp, mapping.router_lp, engine, no);
+  schedule_traffic(s, net, engine, sim);
+
+  std::unique_ptr<RebalanceController> rebalancer;
+  obs::Registry registry;
+  if (ropts.enabled) {
+    rebalancer = std::make_unique<RebalanceController>(sim, cluster, ropts);
+    rebalancer->arm(engine);
+    engine.set_registry(&registry);  // engine publishes at end of run
+  }
+
+  RunResult r;
+  r.stats = threads > 0 ? engine.run_threaded(threads) : engine.run();
+  r.metrics = compute_metrics(r.stats, cluster);
+  if (rebalancer != nullptr) {
+    r.rebalance = rebalancer->totals();
+    sim.publish_metrics(registry);
+    rebalancer->publish_metrics(registry);
+    r.metrics_json = obs::to_json(registry);
+  }
+  return r;
+}
+
+/// Strips the executor-identity gauge (worker count) from a
+/// massf.metrics.v1 export: it is the one field that legitimately differs
+/// between the sequential and threaded runs of the same simulation.
+std::string strip_executor_identity(std::string json) {
+  const std::string key = "\"pdes.sched.threads\":";
+  const auto pos = json.find(key);
+  if (pos == std::string::npos) return json;
+  auto end = json.find_first_of(",}\n", pos + key.size());
+  if (end == std::string::npos) end = json.size();
+  json.erase(pos, end - pos);
+  return json;
+}
+
+bool same_stats(const RunStats& a, const RunStats& b) {
+  return a.total_events == b.total_events && a.num_windows == b.num_windows &&
+         a.events_per_lp == b.events_per_lp && a.end_vtime == b.end_vtime &&
+         a.modeled_wall_s == b.modeled_wall_s &&
+         a.modeled_sync_s == b.modeled_sync_s &&
+         a.modeled_migrate_s == b.modeled_migrate_s;
+}
+
+}  // namespace
+}  // namespace massf
+
+int main(int argc, char** argv) {
+  using namespace massf;
+
+  FlagTable flags("bench_rebalance",
+                  "Online rebalancing vs static HPROF on a phase-shifting "
+                  "workload; emits massf.bench_rebalance.v1 JSON.");
+  flags.add_string("out", "bench_rebalance.json", "JSON report path");
+  flags.add_bool("smoke", false, "reduced scale for the test tier");
+  flags.add_int("threads", 4, "threaded-executor worker count",
+                [](std::int64_t v) { return v >= 1 ? "" : "must be >= 1"; });
+  flags.parse_or_exit(argc, argv);
+
+  Scale s;
+  s.threads = static_cast<std::int32_t>(flags.get_int("threads"));
+  if (flags.get_bool("smoke")) {
+    s.pods = 6;
+    s.transit_per_pod = 4;
+    s.phases = 4;
+    s.phase_len = milliseconds(100);
+  }
+
+  const Network net = build_ring(s);
+  std::vector<NodeId> dests;
+  for (std::int32_t pod = 0; pod < s.pods; ++pod) {
+    dests.push_back(gateway(s, pod));
+  }
+  const ForwardingPlane fp = ForwardingPlane::build_flat(net, dests);
+
+  // Profiling run: naive mapping, phase 0 only — exactly the paper's PROF
+  // procedure, and exactly why the static mapping goes stale.
+  ClusterModel cluster;
+  cluster.num_engine_nodes = s.engines;
+  TrafficProfile profile;
+  {
+    const std::vector<LpId> naive = naive_mapping(net, s.engines);
+    EngineOptions eo;
+    eo.lookahead = s.router_latency;
+    eo.cost_per_event_s = cluster.cost_per_event_s;
+    eo.sync_cost_s = cluster.sync_cost_s();
+    eo.end_time = s.phase_len;
+    Engine engine(eo);
+    NetSimOptions no;
+    no.collect_node_profile = true;
+    NetSim sim(net, fp, naive, engine, no);
+    schedule_traffic(s, net, engine, sim);
+    engine.run();
+    profile = fold_profile(net, sim.node_profile());
+  }
+
+  MappingOptions mo;
+  mo.kind = MappingKind::kHProf;
+  mo.num_engines = s.engines;
+  mo.cluster = cluster;
+  const Mapping mapping = compute_mapping(net, mo, &profile);
+
+  RebalanceOptions off;
+  RebalanceOptions on;
+  on.enabled = true;
+  on.every_windows = 32;
+  on.threshold = 1.15;
+  on.sustain = 2;
+  on.max_moves = 8;
+
+  std::fprintf(stderr, "[bench_rebalance] static HPROF run...\n");
+  const RunResult stat = run_once(s, net, fp, mapping, off, /*threads=*/0);
+  std::fprintf(stderr, "[bench_rebalance] rebalanced run (sequential)...\n");
+  const RunResult seq = run_once(s, net, fp, mapping, on, /*threads=*/0);
+  std::fprintf(stderr, "[bench_rebalance] rebalanced run (%d threads)...\n",
+               s.threads);
+  const RunResult thr = run_once(s, net, fp, mapping, on, s.threads);
+
+  const bool stats_equal = same_stats(seq.stats, thr.stats);
+  const bool json_equal = strip_executor_identity(seq.metrics_json) ==
+                          strip_executor_identity(thr.metrics_json);
+  if (!stats_equal) {
+    std::fprintf(stderr,
+                 "stats mismatch: events %llu/%llu windows %llu/%llu "
+                 "wall %.9f/%.9f migrate %.9f/%.9f end_vtime %lld/%lld\n",
+                 static_cast<unsigned long long>(seq.stats.total_events),
+                 static_cast<unsigned long long>(thr.stats.total_events),
+                 static_cast<unsigned long long>(seq.stats.num_windows),
+                 static_cast<unsigned long long>(thr.stats.num_windows),
+                 seq.stats.modeled_wall_s, thr.stats.modeled_wall_s,
+                 seq.stats.modeled_migrate_s, thr.stats.modeled_migrate_s,
+                 static_cast<long long>(seq.stats.end_vtime),
+                 static_cast<long long>(thr.stats.end_vtime));
+    for (std::size_t i = 0; i < seq.stats.events_per_lp.size(); ++i) {
+      if (seq.stats.events_per_lp[i] != thr.stats.events_per_lp[i]) {
+        std::fprintf(
+            stderr, "  lp %zu: %llu vs %llu\n", i,
+            static_cast<unsigned long long>(seq.stats.events_per_lp[i]),
+            static_cast<unsigned long long>(thr.stats.events_per_lp[i]));
+      }
+    }
+  }
+  if (!json_equal) {
+    obs::write_file("/tmp/seq_metrics.json", seq.metrics_json);
+    obs::write_file("/tmp/thr_metrics.json", thr.metrics_json);
+    std::fprintf(stderr,
+                 "metrics JSON mismatch (dumped /tmp/seq_metrics.json, "
+                 "/tmp/thr_metrics.json)\n");
+  }
+  const bool equal = stats_equal && json_equal;
+  const double improvement =
+      (stat.stats.modeled_wall_s - seq.stats.modeled_wall_s) /
+      stat.stats.modeled_wall_s;
+
+  std::printf("static:     T=%8.3f s  imbalance=%.3f  events=%llu\n",
+              stat.stats.modeled_wall_s, stat.metrics.load_imbalance,
+              static_cast<unsigned long long>(stat.stats.total_events));
+  std::printf("rebalanced: T=%8.3f s  imbalance=%.3f  events=%llu  "
+              "(moves=%llu, migrate cost=%.4f s)\n",
+              seq.stats.modeled_wall_s, seq.metrics.load_imbalance,
+              static_cast<unsigned long long>(seq.stats.total_events),
+              static_cast<unsigned long long>(seq.rebalance.moves),
+              seq.stats.modeled_migrate_s);
+  std::printf("improvement: %.1f%%  executors %s\n", improvement * 100,
+              equal ? "bit-identical" : "DIFFER");
+
+  char head[1024];
+  std::snprintf(
+      head, sizeof head,
+      "{\n"
+      "  \"schema\": \"massf.bench_rebalance.v1\",\n"
+      "  \"static\": {\"modeled_time_s\": %s, \"imbalance\": %s, "
+      "\"events\": %llu, \"windows\": %llu},\n"
+      "  \"rebalanced\": {\"modeled_time_s\": %s, \"imbalance\": %s, "
+      "\"events\": %llu, \"windows\": %llu,\n"
+      "    \"moves\": %llu, \"events_moved\": %llu, \"bytes_moved\": %llu, "
+      "\"triggers\": %llu,\n"
+      "    \"imbalance_before\": %s, \"imbalance_after\": %s, "
+      "\"modeled_migrate_s\": %s,\n"
+      "    \"signature_equal\": %s},\n"
+      "  \"improvement\": %s,\n",
+      obs::format_double(stat.stats.modeled_wall_s).c_str(),
+      obs::format_double(stat.metrics.load_imbalance).c_str(),
+      static_cast<unsigned long long>(stat.stats.total_events),
+      static_cast<unsigned long long>(stat.stats.num_windows),
+      obs::format_double(seq.stats.modeled_wall_s).c_str(),
+      obs::format_double(seq.metrics.load_imbalance).c_str(),
+      static_cast<unsigned long long>(seq.stats.total_events),
+      static_cast<unsigned long long>(seq.stats.num_windows),
+      static_cast<unsigned long long>(seq.rebalance.moves),
+      static_cast<unsigned long long>(seq.rebalance.events_moved),
+      static_cast<unsigned long long>(seq.rebalance.bytes_moved),
+      static_cast<unsigned long long>(seq.rebalance.triggers),
+      obs::format_double(seq.rebalance.imbalance_before).c_str(),
+      obs::format_double(seq.rebalance.imbalance_after).c_str(),
+      obs::format_double(seq.stats.modeled_migrate_s).c_str(),
+      equal ? "true" : "false",
+      obs::format_double(improvement).c_str());
+  std::string json = head;
+  json += "  \"metrics\": " + seq.metrics_json + "\n}\n";
+  const std::string out = flags.get_string("out");
+  if (!obs::write_file(out, json)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_rebalance] wrote %s\n", out.c_str());
+  return equal ? 0 : 1;
+}

@@ -2,9 +2,13 @@
 // configuration file.
 //
 //   ./massf_cli --template            # print a config template and exit
-//   ./massf_cli --config=exp.dml [--mapping=HPROF,TOP2] [--all-metrics]
+//   ./massf_cli --config=exp.dml [--mapping=HPROF,TOP2]
+//   ./massf_cli --help                # the full flag table
 //
-// With no --mapping, runs the paper's main four (HPROF, PROF2, HTOP, TOP2).
+// Every flag is declared once in the FlagTable below (name, type, default,
+// help, validator); the parser and the --help screen are generated from
+// that single declaration. Validation errors carry the argv position
+// ("arg N (--flag=value): what") and exit 2.
 //
 // Checkpoint/restore (format massf.ckpt.v1, DESIGN.md section 5e):
 //   --ckpt-every=N --ckpt-path=f.ckpt [--ckpt-stop]   # snapshot every N
@@ -13,10 +17,18 @@
 //   --restore=f.ckpt                                  # resume from snapshot
 // Both require exactly one --mapping: a checkpoint captures one run, and a
 // restored run must rebuild the identical stack before loading it.
+//
+// Fault injection: --faults=schedule.txt compiles a fault schedule (the
+// line-based format of fault/fault.hpp) into the run.
+//
+// Online rebalancing (DESIGN.md section 5f): --rebalance enables the LP
+// migration controller; --rebalance-threshold / --rebalance-every /
+// --rebalance-sustain / --rebalance-max-moves tune it.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "fault/injector.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario.hpp"
 #include "sim/scenario_config.hpp"
@@ -24,9 +36,50 @@
 
 int main(int argc, char** argv) {
   using namespace massf;
-  const Flags flags(argc, argv);
 
-  if (flags.get_bool("template", false)) {
+  FlagTable flags("massf_cli",
+                  "Runs a load-balance study from a DML configuration.");
+  flags.add_bool("template", false,
+                 "print a DML config template and exit");
+  flags.add_string("config", "", "DML experiment configuration file");
+  flags.add_string("mapping", "",
+                   "comma-separated mapping kinds (default: HPROF,PROF2,"
+                   "HTOP,TOP2)");
+  flags.add_int("ckpt-every", 0,
+                "checkpoint every N sync windows (0 = off)",
+                [](std::int64_t v) {
+                  return v >= 0 ? "" : "must be >= 0";
+                });
+  flags.add_string("ckpt-path", "", "checkpoint file to write");
+  flags.add_bool("ckpt-stop", false, "stop after the first checkpoint");
+  flags.add_string("restore", "", "checkpoint file to resume from");
+  flags.add_string("faults", "",
+                   "fault schedule file (link flaps, crashes, loss bursts)");
+  flags.add_bool("rebalance", false,
+                 "enable online LP rebalancing at window boundaries");
+  flags.add_double("rebalance-threshold", 1.25,
+                   "trigger when max/avg engine load exceeds this",
+                   [](double v) {
+                     return v >= 1.0 ? "" : "must be >= 1.0";
+                   });
+  flags.add_int("rebalance-every", 64,
+                "check imbalance every N sync windows",
+                [](std::int64_t v) {
+                  return v >= 1 ? "" : "must be >= 1";
+                });
+  flags.add_int("rebalance-sustain", 2,
+                "consecutive over-threshold checks before migrating",
+                [](std::int64_t v) {
+                  return v >= 1 ? "" : "must be >= 1";
+                });
+  flags.add_int("rebalance-max-moves", 8,
+                "max routers migrated per trigger",
+                [](std::int64_t v) {
+                  return v >= 1 ? "" : "must be >= 1";
+                });
+  flags.parse_or_exit(argc, argv);
+
+  if (flags.get_bool("template")) {
     ScenarioOptions defaults;
     defaults.app = AppKind::kScaLapack;
     std::fputs(write_dml(scenario_options_to_dml(defaults)).c_str(), stdout);
@@ -34,11 +87,11 @@ int main(int argc, char** argv) {
   }
 
   ScenarioOptions opts;
-  if (flags.has("config")) {
-    std::ifstream in(flags.get_string("config", ""));
+  if (flags.set("config")) {
+    std::ifstream in(flags.get_string("config"));
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n",
-                   flags.get_string("config", "").c_str());
+                   flags.get_string("config").c_str());
       return 1;
     }
     std::ostringstream buf;
@@ -71,8 +124,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<MappingKind> kinds;
-  if (flags.has("mapping")) {
-    std::stringstream ss(flags.get_string("mapping", ""));
+  if (flags.set("mapping")) {
+    std::stringstream ss(flags.get_string("mapping"));
     std::string name;
     while (std::getline(ss, name, ',')) {
       const auto k = mapping_kind_from_name(name);
@@ -88,11 +141,10 @@ int main(int argc, char** argv) {
   }
 
   CkptOptions ckpt;
-  ckpt.every_windows =
-      static_cast<std::uint64_t>(flags.get_int("ckpt-every", 0));
-  ckpt.path = flags.get_string("ckpt-path", "");
-  ckpt.stop_after = flags.get_bool("ckpt-stop", false);
-  ckpt.restore_path = flags.get_string("restore", "");
+  ckpt.every_windows = static_cast<std::uint64_t>(flags.get_int("ckpt-every"));
+  ckpt.path = flags.get_string("ckpt-path");
+  ckpt.stop_after = flags.get_bool("ckpt-stop");
+  ckpt.restore_path = flags.get_string("restore");
   if (ckpt.every_windows > 0 && ckpt.path.empty()) {
     std::fprintf(stderr, "--ckpt-every requires --ckpt-path\n");
     return 1;
@@ -106,12 +158,55 @@ int main(int argc, char** argv) {
   }
   opts.ckpt = ckpt;
 
+  opts.rebalance.enabled = flags.get_bool("rebalance");
+  opts.rebalance.threshold = flags.get_double("rebalance-threshold");
+  opts.rebalance.every_windows =
+      static_cast<std::uint64_t>(flags.get_int("rebalance-every"));
+  opts.rebalance.sustain =
+      static_cast<std::int32_t>(flags.get_int("rebalance-sustain"));
+  opts.rebalance.max_moves =
+      static_cast<std::int32_t>(flags.get_int("rebalance-max-moves"));
+
+  FaultSchedule faults;
+  if (flags.set("faults")) {
+    std::ifstream in(flags.get_string("faults"));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   flags.get_string("faults").c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const auto parsed = parse_fault_schedule(buf.str(), &error);
+    if (!parsed) {
+      std::fprintf(stderr, "fault schedule error: %s\n", error.c_str());
+      return 1;
+    }
+    faults = *parsed;
+  }
+
   std::printf("experiment: %s, %d routers, %d hosts, %d engines, app=%s, "
               "%.1f virtual seconds\n",
               opts.multi_as ? "multi-AS" : "single-AS", opts.num_routers,
               opts.num_hosts, opts.num_engines, app_kind_name(opts.app),
               to_seconds(opts.end_time));
   Scenario scenario(opts);
+
+  // The injector lives a layer above the Scenario (fault -> sim), so it is
+  // attached through the pre-run callback, which hands us the engine and
+  // NetSim of the measured run right before it executes.
+  std::unique_ptr<FaultInjector> injector;
+  if (!faults.events().empty()) {
+    injector = std::make_unique<FaultInjector>(scenario.network(),
+                                               scenario.forwarding_mut());
+    FaultSchedule* sched = &faults;
+    FaultInjector* inj = injector.get();
+    scenario.set_pre_run([inj, sched](Engine& engine, NetSim& sim) {
+      inj->arm(engine, sim, *sched);
+    });
+  }
+
   std::printf("%-7s %10s %9s %9s %8s %12s\n", "mapping", "T(sec)", "MLL(ms)",
               "imbal", "PE", "events");
   for (const MappingKind kind : kinds) {
@@ -121,6 +216,11 @@ int main(int argc, char** argv) {
                 to_milliseconds(r.mapping.achieved_mll),
                 r.metrics.load_imbalance, r.metrics.parallel_efficiency,
                 static_cast<unsigned long long>(r.metrics.total_events));
+    if (injector != nullptr) {
+      std::printf("        faults injected: %llu\n",
+                  static_cast<unsigned long long>(
+                      injector->faults_injected()));
+    }
   }
   return 0;
 }

@@ -1,36 +1,159 @@
 #!/usr/bin/env python3
-"""Regression gate: compare a fresh `bench_pdes --json` run to BENCH_pdes.json.
+"""Regression gate for bench JSON reports.
 
-Two classes of check:
-  * Determinism (exact): every executor entry must report the pinned golden
-    checksum plus the exact event and window counts. Any drift means the
-    event-ordering contract changed — see tests/regen_golden.sh before
-    re-pinning.
-  * Throughput (tolerant): events/s may regress by at most --tolerance
-    (fractional, default 0.5 — CI runners are noisy and slower than the
-    machine that produced the baseline; the gate exists to catch order-of-
-    magnitude cliffs, not single-digit noise).
+Schemas understood (dispatched on the current report's "schema" field):
+
+  massf.bench_pdes.v2 — compare a fresh `bench_pdes --json` run against the
+  committed BENCH_pdes.json baseline. Two classes of check:
+    * Determinism (exact): every executor entry must report the pinned
+      golden checksum plus the exact event and window counts. Any drift
+      means the event-ordering contract changed — see tests/regen_golden.sh
+      before re-pinning.
+    * Throughput (tolerant): events/s may regress by at most --tolerance
+      (fractional, default 0.5 — CI runners are noisy and slower than the
+      machine that produced the baseline; the gate exists to catch
+      order-of-magnitude cliffs, not single-digit noise).
+
+  massf.bench_rebalance.v1 — self-contained gate on a
+  `bench_rebalance --json` run (no baseline file needed):
+    * sequential/threaded full-signature equality must hold with
+      rebalancing enabled;
+    * the rebalanced run must beat the static mapping by at least
+      --min-improvement modeled time (default 0.15);
+    * the controller must actually have migrated something.
 
 Usage:
   bench_pdes --out current.json   # NOT the default --out, which would
                                   # overwrite the committed baseline
   scripts/check_bench.py [--baseline BENCH_pdes.json] [--current current.json]
-                         [--tolerance 0.5]
+                         [--tolerance 0.5] [--allow-missing-baseline]
+                         [--min-improvement 0.15]
 
-Exit status: 0 on pass, 1 on any failed check, 2 on malformed input.
+Exit status: 0 on pass, 1 on any failed check, 2 on missing/malformed input
+(one-line actionable message on stderr, no traceback).
 """
 
 import argparse
 import json
+import os
 import sys
 
 
-def entries(doc):
+def die(message):
+    """Exit 2 with a one-line actionable message (never a traceback)."""
+    print(f"check_bench: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path, hint):
+    if not os.path.exists(path):
+        die(f"{path} not found — {hint}")
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON ({e}) — regenerate it")
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+
+
+def get(doc, path, filename):
+    """Fetch doc["a"]["b"] for path "a.b"; missing key = actionable exit 2."""
+    node = doc
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            die(f"{filename}: missing key '{path}' — the report schema "
+                f"changed or the bench was interrupted; regenerate it")
+        node = node[key]
+    return node
+
+
+def entries(doc, filename):
     """Yield (label, entry) for every executor measurement in a report."""
-    yield "sequential", doc["sequential"]
-    yield "threaded", doc["threaded"]
+    yield "sequential", get(doc, "sequential", filename)
+    yield "threaded", get(doc, "threaded", filename)
     for sweep in doc.get("sweep", []):
-        yield f"sweep[threads={sweep['threads']}]", sweep
+        yield f"sweep[threads={sweep.get('threads', '?')}]", sweep
+
+
+def field(entry, label, name, filename):
+    if name not in entry:
+        die(f"{filename}: entry '{label}' is missing '{name}' — "
+            f"regenerate the report")
+    return entry[name]
+
+
+def check_pdes(baseline, current, args):
+    for doc, name in ((baseline, args.baseline), (current, args.current)):
+        if doc.get("schema") != "massf.bench_pdes.v2":
+            die(f"{name}: unexpected schema {doc.get('schema')!r} "
+                f"(want massf.bench_pdes.v2)")
+
+    golden = get(baseline, "sequential.checksum", args.baseline)
+    golden_events = get(baseline, "sequential.events", args.baseline)
+    golden_windows = get(baseline, "sequential.windows", args.baseline)
+    failures = []
+
+    # Determinism: exact, for every entry in the current report.
+    for label, entry in entries(current, args.current):
+        for name, want in (("checksum", golden), ("events", golden_events),
+                           ("windows", golden_windows)):
+            got = field(entry, label, name, args.current)
+            if got != want:
+                failures.append(f"{label}: {name} {got} != golden {want}")
+
+    # Throughput: compare matching thread counts (runner core counts differ,
+    # so sweep entries absent from either report are skipped, not failed).
+    base_by_threads = {field(e, label, "threads", args.baseline): (label, e)
+                       for label, e in entries(baseline, args.baseline)}
+    for label, entry in entries(current, args.current):
+        match = base_by_threads.get(field(entry, label, "threads",
+                                          args.current))
+        if match is None:
+            print(f"check_bench: note: no baseline for {label}, "
+                  f"skipping throughput check", file=sys.stderr)
+            continue
+        base_eps = field(match[1], match[0], "events_per_sec", args.baseline)
+        cur_eps = field(entry, label, "events_per_sec", args.current)
+        floor = base_eps * (1.0 - args.tolerance)
+        if cur_eps < floor:
+            failures.append(
+                f"{label}: {cur_eps:.0f} events/s is below {floor:.0f} "
+                f"(baseline {base_eps:.0f} minus "
+                f"{args.tolerance:.0%} tolerance)")
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK — checksum {golden}, "
+          f"{sum(1 for _ in entries(current, args.current))} entries "
+          f"within tolerance")
+    return 0
+
+
+def check_rebalance(current, args):
+    failures = []
+    if not get(current, "rebalanced.signature_equal", args.current):
+        failures.append("rebalanced run: sequential vs threaded event "
+                        "signatures differ (determinism broken)")
+    improvement = get(current, "improvement", args.current)
+    if improvement < args.min_improvement:
+        failures.append(
+            f"modeled-time improvement {improvement:.1%} is below the "
+            f"{args.min_improvement:.0%} gate")
+    if get(current, "rebalanced.moves", args.current) <= 0:
+        failures.append("rebalanced run migrated nothing — the controller "
+                        "never triggered")
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK — rebalance improvement {improvement:.1%}, "
+          f"{get(current, 'rebalanced.moves', args.current)} moves, "
+          f"signatures equal")
+    return 0
 
 
 def main():
@@ -39,60 +162,33 @@ def main():
     parser.add_argument("--current", default="current.json")
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="max fractional events/s regression (default 0.5)")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="exit 0 with a note when the baseline file does "
+                             "not exist (first run of a new bench)")
+    parser.add_argument("--min-improvement", type=float, default=0.15,
+                        help="massf.bench_rebalance.v1: minimum modeled-time "
+                             "improvement fraction (default 0.15)")
     args = parser.parse_args()
 
-    try:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-        with open(args.current) as f:
-            current = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"check_bench: cannot load input: {e}", file=sys.stderr)
-        return 2
+    current = load_json(
+        args.current,
+        "run the bench with --out/--json first (see the module docstring)")
+    schema = current.get("schema")
 
-    for doc, name in ((baseline, args.baseline), (current, args.current)):
-        if doc.get("schema") != "massf.bench_pdes.v2":
-            print(f"check_bench: {name}: unexpected schema "
-                  f"{doc.get('schema')!r}", file=sys.stderr)
-            return 2
+    if schema == "massf.bench_rebalance.v1":
+        # Self-contained: the report carries both the static baseline run
+        # and the rebalanced run.
+        return check_rebalance(current, args)
 
-    golden = baseline["sequential"]["checksum"]
-    golden_events = baseline["sequential"]["events"]
-    golden_windows = baseline["sequential"]["windows"]
-    failures = []
-
-    # Determinism: exact, for every entry in the current report.
-    for label, entry in entries(current):
-        for field, want in (("checksum", golden), ("events", golden_events),
-                            ("windows", golden_windows)):
-            if entry[field] != want:
-                failures.append(
-                    f"{label}: {field} {entry[field]} != golden {want}")
-
-    # Throughput: compare matching thread counts (runner core counts differ,
-    # so sweep entries absent from either report are skipped, not failed).
-    base_by_threads = {e["threads"]: (label, e)
-                       for label, e in entries(baseline)}
-    for label, entry in entries(current):
-        match = base_by_threads.get(entry["threads"])
-        if match is None:
-            print(f"check_bench: note: no baseline for {label}, "
-                  f"skipping throughput check", file=sys.stderr)
-            continue
-        floor = match[1]["events_per_sec"] * (1.0 - args.tolerance)
-        if entry["events_per_sec"] < floor:
-            failures.append(
-                f"{label}: {entry['events_per_sec']:.0f} events/s is below "
-                f"{floor:.0f} (baseline {match[1]['events_per_sec']:.0f} "
-                f"minus {args.tolerance:.0%} tolerance)")
-
-    if failures:
-        for failure in failures:
-            print(f"check_bench: FAIL: {failure}", file=sys.stderr)
-        return 1
-    print(f"check_bench: OK — checksum {golden}, "
-          f"{sum(1 for _ in entries(current))} entries within tolerance")
-    return 0
+    if not os.path.exists(args.baseline):
+        if args.allow_missing_baseline:
+            print(f"check_bench: note: baseline {args.baseline} missing, "
+                  f"nothing to compare against (--allow-missing-baseline)")
+            return 0
+        die(f"baseline {args.baseline} not found — commit one from a "
+            f"trusted run, or pass --allow-missing-baseline for a first run")
+    baseline = load_json(args.baseline, "the committed baseline is corrupt")
+    return check_pdes(baseline, current, args)
 
 
 if __name__ == "__main__":

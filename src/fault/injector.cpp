@@ -103,7 +103,7 @@ void FaultInjector::arm(Engine& engine, NetSim& sim,
             });
 
   if (speakers_ != nullptr) {
-    engine.add_barrier_hook([this](Engine& eng, SimTime window_start) {
+    engine.hooks().barrier.push_back([this](Engine& eng, SimTime window_start) {
       on_barrier(eng, window_start);
     });
   }

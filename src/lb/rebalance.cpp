@@ -1,0 +1,212 @@
+#include "lb/rebalance.hpp"
+
+#include <algorithm>
+
+#include "ckpt/ckpt.hpp"
+#include "graph/graph.hpp"
+#include "lb/graph_prep.hpp"
+#include "obs/metrics.hpp"
+#include "partition/fm.hpp"
+#include "util/check.hpp"
+
+namespace massf {
+
+RebalanceController::RebalanceController(NetSim& sim,
+                                         const ClusterModel& cluster,
+                                         const RebalanceOptions& opts)
+    : sim_(&sim), cluster_(cluster), opts_(opts) {
+  MASSF_CHECK(opts_.every_windows > 0);
+  MASSF_CHECK(opts_.threshold >= 1.0);
+  MASSF_CHECK(opts_.sustain >= 1);
+  MASSF_CHECK(opts_.max_moves >= 1);
+  // The node profile is the load signal; without collect_node_profile the
+  // controller would see an all-zero network forever.
+  MASSF_CHECK(!sim.node_profile().empty());
+  snapshot_.assign(sim.node_profile().size(), 0);
+}
+
+void RebalanceController::arm(Engine& engine) {
+  engine.hooks().rebalance_every = opts_.every_windows;
+  engine.hooks().rebalance = [this](Engine& eng, SimTime floor) {
+    on_rebalance(eng, floor);
+  };
+}
+
+std::vector<double> RebalanceController::engine_load(
+    const std::vector<std::uint64_t>& router_w) const {
+  std::vector<double> load(static_cast<std::size_t>(sim_->num_lps()), 0);
+  for (std::size_t r = 0; r < router_w.size(); ++r) {
+    load[static_cast<std::size_t>(sim_->lp_of(static_cast<NodeId>(r)))] +=
+        static_cast<double>(router_w[r]);
+  }
+  return load;
+}
+
+void RebalanceController::on_rebalance(Engine& engine, SimTime floor) {
+  (void)floor;
+  ++totals_.checks;
+  if (sim_->num_lps() < 2) return;
+
+  // Recent load per node: cumulative profile minus the previous check's
+  // snapshot. Host events are folded onto the attachment router, mirroring
+  // the offline PROF pipeline (the kernel charges host work to the LP of
+  // the attachment router anyway).
+  const std::vector<std::uint64_t>& cum = sim_->node_profile();
+  MASSF_CHECK(cum.size() == snapshot_.size());
+  const Network& net = sim_->network();
+  std::vector<std::uint64_t> router_w(
+      static_cast<std::size_t>(net.num_routers), 0);
+  for (std::size_t i = 0; i < cum.size(); ++i) {
+    const std::uint64_t recent = cum[i] - snapshot_[i];
+    snapshot_[i] = cum[i];
+    if (recent == 0) continue;
+    const NodeId node = static_cast<NodeId>(i);
+    const NodeId router =
+        net.is_host(node) ? net.nodes[i].attach_router : node;
+    router_w[static_cast<std::size_t>(router)] += recent;
+  }
+
+  std::vector<double> load = engine_load(router_w);
+  double total = 0;
+  for (double l : load) total += l;
+  if (total <= 0) {
+    sustain_count_ = 0;
+    return;
+  }
+  const double avg = total / static_cast<double>(load.size());
+  const auto hot_it = std::max_element(load.begin(), load.end());
+  const double imbalance = *hot_it / avg;
+  if (imbalance < opts_.threshold) {
+    sustain_count_ = 0;
+    return;
+  }
+  if (++sustain_count_ < opts_.sustain) return;
+  sustain_count_ = 0;
+
+  // Incremental remap: refine only the hottest/coldest engine pair.
+  // max_element/min_element both take the lowest index on ties, so the
+  // pair choice is deterministic.
+  const LpId hot = static_cast<LpId>(hot_it - load.begin());
+  const LpId cold = static_cast<LpId>(
+      std::min_element(load.begin(), load.end()) - load.begin());
+  if (hot == cold) return;
+
+  // Subgraph over the routers the pair owns, in ascending NodeId order so
+  // vertex ids (and thus FM tie-breaks) are deterministic.
+  std::vector<NodeId> verts;
+  for (NodeId r = 0; r < net.num_routers; ++r) {
+    const LpId lp = sim_->lp_of(r);
+    if (lp == hot || lp == cold) verts.push_back(r);
+  }
+  std::vector<VertexId> vid(static_cast<std::size_t>(net.num_routers), -1);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    vid[static_cast<std::size_t>(verts[i])] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder gb(static_cast<VertexId>(verts.size()));
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    gb.set_vertex_weight(
+        static_cast<VertexId>(i),
+        static_cast<Weight>(router_w[static_cast<std::size_t>(verts[i])]) +
+            1);
+  }
+  for (const NetLink& l : net.links) {
+    if (!net.is_router(l.a) || !net.is_router(l.b)) continue;
+    const VertexId va = vid[static_cast<std::size_t>(l.a)];
+    const VertexId vb = vid[static_cast<std::size_t>(l.b)];
+    if (va < 0 || vb < 0) continue;
+    gb.add_edge(va, vb, edge_weight_plain(l.latency));
+  }
+  const Graph g = gb.build();
+
+  // Side 0 = hot engine, side 1 = cold. Pin everything that cannot move;
+  // FM may then only trade the mobile routers, bounded by max_moves.
+  std::vector<VertexId> part(verts.size());
+  std::vector<char> pinned(verts.size());
+  const SimTime lookahead = engine.options().lookahead;
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    part[i] = sim_->lp_of(verts[i]) == hot ? 0 : 1;
+    pinned[i] = sim_->router_mobile(verts[i], lookahead) ? 0 : 1;
+  }
+
+  FmOptions fm;
+  fm.target0 = g.total_vertex_weight() / 2;
+  fm.tolerance = opts_.fm_tolerance;
+  fm.max_passes = opts_.fm_passes;
+  fm.pinned = pinned;
+  fm.max_moves = opts_.max_moves;
+  fm_refine_bisection(g, part, fm);
+
+  // Apply the remap in ascending router id order (deterministic migration
+  // sequence → deterministic destination seq assignment).
+  std::uint64_t moves = 0;
+  std::uint64_t events = 0;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const LpId want = part[i] == 0 ? hot : cold;
+    if (want == sim_->lp_of(verts[i])) continue;
+    const MigrationStats ms = sim_->migrate_router(engine, verts[i], want);
+    ++moves;
+    events += ms.events;
+    bytes += ms.bytes;
+  }
+  if (moves == 0) return;
+
+  ++totals_.triggers;
+  totals_.moves += moves;
+  totals_.events_moved += events;
+  totals_.bytes_moved += bytes;
+  totals_.imbalance_before = imbalance;
+  const double cost = cluster_.migration_cost_s(bytes);
+  totals_.modeled_cost_s += cost;
+  engine.charge_modeled_cost(cost);
+
+  std::vector<double> after = engine_load(router_w);
+  const double peak = *std::max_element(after.begin(), after.end());
+  totals_.imbalance_after = peak / avg;
+}
+
+void RebalanceController::publish_metrics(obs::Registry& registry) const {
+  registry.counter("lb.rebalance.checks").inc(totals_.checks);
+  registry.counter("lb.rebalance.triggers").inc(totals_.triggers);
+  registry.counter("lb.rebalance.moves").inc(totals_.moves);
+  registry.counter("lb.rebalance.events_moved").inc(totals_.events_moved);
+  registry.counter("lb.rebalance.bytes_moved").inc(totals_.bytes_moved);
+  registry.gauge("lb.rebalance.imbalance_before")
+      .set(totals_.imbalance_before);
+  registry.gauge("lb.rebalance.imbalance_after").set(totals_.imbalance_after);
+  registry.gauge("lb.rebalance.modeled_cost_s").set(totals_.modeled_cost_s);
+}
+
+void RebalanceController::save(ckpt::Writer& w) const {
+  ckpt::write_u64_vec(w, snapshot_);
+  w.i32(sustain_count_);
+  w.u64(totals_.checks);
+  w.u64(totals_.triggers);
+  w.u64(totals_.moves);
+  w.u64(totals_.events_moved);
+  w.u64(totals_.bytes_moved);
+  w.f64(totals_.imbalance_before);
+  w.f64(totals_.imbalance_after);
+  w.f64(totals_.modeled_cost_s);
+}
+
+bool RebalanceController::load(ckpt::Reader& r) {
+  std::vector<std::uint64_t> snap;
+  if (!ckpt::read_u64_vec(r, snap) || snap.size() != snapshot_.size()) {
+    return false;
+  }
+  snapshot_ = std::move(snap);
+  sustain_count_ = r.i32();
+  totals_.checks = r.u64();
+  totals_.triggers = r.u64();
+  totals_.moves = r.u64();
+  totals_.events_moved = r.u64();
+  totals_.bytes_moved = r.u64();
+  totals_.imbalance_before = r.f64();
+  totals_.imbalance_after = r.f64();
+  totals_.modeled_cost_s = r.f64();
+  return r.done();
+}
+
+}  // namespace massf

@@ -1,0 +1,101 @@
+// Online load rebalancing: the closed control loop that turns the static
+// mapping pipeline into an adaptive runtime (DESIGN.md section 5f).
+//
+// The controller runs as the engine's rebalance stage (EngineHooks firing
+// order: barrier → rebalance → ckpt). At each firing it diffs the kernel's
+// cumulative per-node event profile against the previous check — the same
+// "prof" signal the offline PROF/HPROF mappings consume, but windowed to
+// the recent past — measures per-engine load imbalance (max over average),
+// and when the imbalance stays above a threshold for `sustain` consecutive
+// checks, computes an *incremental* remap: a bounded-move FM refinement
+// (partition/fm.hpp) of the hottest/coldest engine pair over the live
+// vertex weights, with immobile routers pinned. The chosen routers are
+// rehomed through NetSim::migrate_router, which serializes their pending
+// events through the massf.ckpt.v1 record format, and the modeled cost of
+// the transfer is charged to the run via the cluster cost model — so the
+// reported speedup is honest.
+//
+// Determinism: every input (profile counts, ownership table, link
+// latencies) is a deterministic function of the event stream, and the hook
+// runs coordinator-only at a quiescent boundary, so sequential and
+// threaded executors make identical decisions and stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "net/netsim.hpp"
+
+namespace massf {
+
+namespace obs {
+class Registry;
+}  // namespace obs
+
+struct RebalanceOptions {
+  bool enabled = false;
+  /// Check cadence in synchronization windows (EngineHooks::rebalance_every).
+  std::uint64_t every_windows = 64;
+  /// Trigger when max-engine-load / avg-engine-load exceeds this.
+  double threshold = 1.25;
+  /// Consecutive over-threshold checks required before acting (debounce:
+  /// one bursty window must not trigger a migration storm).
+  std::int32_t sustain = 2;
+  /// Bound on routers moved per trigger (FmOptions::max_moves).
+  std::int32_t max_moves = 8;
+  /// FM refinement knobs for the incremental remap.
+  double fm_tolerance = 1.05;
+  std::int32_t fm_passes = 4;
+};
+
+class RebalanceController {
+ public:
+  /// `sim` must have been built with NetSimOptions::collect_node_profile —
+  /// the profile is the controller's only load signal.
+  RebalanceController(NetSim& sim, const ClusterModel& cluster,
+                      const RebalanceOptions& opts);
+
+  /// Installs the controller as `engine`'s rebalance stage.
+  void arm(Engine& engine);
+
+  /// The rebalance stage body (public so tests can fire checks directly).
+  void on_rebalance(Engine& engine, SimTime floor);
+
+  struct Totals {
+    std::uint64_t checks = 0;    ///< stage firings
+    std::uint64_t triggers = 0;  ///< firings that migrated something
+    std::uint64_t moves = 0;     ///< routers rehomed
+    std::uint64_t events_moved = 0;
+    std::uint64_t bytes_moved = 0;  ///< massf.ckpt.v1 record bytes
+    double imbalance_before = 0;    ///< at the last trigger
+    double imbalance_after = 0;
+    double modeled_cost_s = 0;  ///< total migration cost charged
+  };
+  const Totals& totals() const { return totals_; }
+
+  /// Publishes `lb.rebalance.*` metrics (schema in DESIGN.md section 5b).
+  void publish_metrics(obs::Registry& registry) const;
+
+  /// Checkpoint hooks (ckpt/ckpt.hpp): the profile snapshot, debounce
+  /// counter, and tallies — everything a resumed run needs to keep making
+  /// the decisions the uninterrupted run would have made.
+  void save(ckpt::Writer& writer) const;
+  bool load(ckpt::Reader& reader);
+
+ private:
+  /// Per-engine recent load (host events folded onto attach routers) from
+  /// `router_w`, under the current ownership table.
+  std::vector<double> engine_load(
+      const std::vector<std::uint64_t>& router_w) const;
+
+  NetSim* sim_;
+  ClusterModel cluster_;
+  RebalanceOptions opts_;
+  /// Cumulative node profile at the previous check (diff base).
+  std::vector<std::uint64_t> snapshot_;
+  std::int32_t sustain_count_ = 0;
+  Totals totals_;
+};
+
+}  // namespace massf

@@ -188,6 +188,47 @@ void NetSim::schedule_loss_state(Engine& engine, LinkId link, SimTime when,
                   static_cast<std::uint64_t>(link) * 2 + 1, ppm);
 }
 
+bool NetSim::router_mobile(NodeId router, SimTime lookahead) const {
+  if (!net_->is_router(router)) return false;
+  for (const Network::Incidence& inc : net_->incident(router)) {
+    if (net_->is_host(inc.peer)) return false;
+    if (net_->links[static_cast<std::size_t>(inc.link)].latency < lookahead) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MigrationStats NetSim::migrate_router(Engine& engine, NodeId router, LpId to) {
+  MASSF_CHECK(net_->is_router(router));
+  MASSF_CHECK(to >= 0 && to < num_lps_);
+  const LpId from = lp_of(router);
+  if (from == to) return {};
+  MASSF_CHECK(router_mobile(router, engine.options().lookahead));
+
+  node_lp_[static_cast<std::size_t>(router)] = to;
+
+  const Network* net = net_;
+  return engine.migrate_events(from, to, [net, router](const Event& ev) {
+    switch (ev.type) {
+      case kEvArrive:
+        return Packet::decode(ev).arrive == router;
+      case kEvLinkState:
+      case kEvLossState: {
+        // Directed-slot events are addressed to the transmitter's LP.
+        const NetLink& l = net->links[static_cast<std::size_t>(ev.a / 2)];
+        return (ev.a % 2 == 0 ? l.a : l.b) == router;
+      }
+      case kEvNodeState:
+        return static_cast<NodeId>(ev.a) == router;
+      default:
+        // Flow, timer, and UDP-send events are host-bound; a mobile router
+        // has no hosts, so none of its pending events carry these types.
+        return false;
+    }
+  });
+}
+
 void NetSim::handle(Engine& engine, const Event& ev) {
   switch (ev.type) {
     case kEvArrive: {
@@ -686,6 +727,9 @@ void load_record(ckpt::Reader& r, FlowRecord& rec) {
 
 void NetSim::save(ckpt::Writer& w) const {
   w.u32(static_cast<std::uint32_t>(num_lps_));
+  // The ownership table is state since migrate_router: a restored run must
+  // see the same node→LP assignment the interrupted run had.
+  ckpt::write_u64_vec(w, node_lp_);
   ckpt::write_u64_vec(w, iface_free_);
   ckpt::write_char_vec(w, iface_up_);
   ckpt::write_char_vec(w, node_up_);
@@ -729,6 +773,9 @@ void NetSim::save(ckpt::Writer& w) const {
 
 bool NetSim::load(ckpt::Reader& r) {
   if (r.u32() != static_cast<std::uint32_t>(num_lps_)) return false;
+  const std::size_t n_lp_table = node_lp_.size();
+  if (!ckpt::read_u64_vec(r, node_lp_) || node_lp_.size() != n_lp_table)
+    return false;
   const std::size_t n_iface = iface_free_.size();
   const std::size_t n_nodes = node_up_.size();
   const std::size_t n_link_bytes = link_bytes_.size();

@@ -172,7 +172,35 @@ void Engine::run_barrier_hooks(SimTime floor) {
   // Hooks observe the window floor through now() under both executors
   // (current_lp() is invalid here, so schedule() takes the injection path).
   now_ = floor;
-  for (auto& hook : barrier_hooks_) hook(*this, floor);
+  for (auto& hook : hooks_.barrier) hook(*this, floor);
+}
+
+void Engine::maybe_rebalance(SimTime floor) {
+  if (hooks_.rebalance_every == 0 || !hooks_.rebalance) return;
+  const std::uint64_t w = stats_.num_windows;
+  if (w == 0 || w % hooks_.rebalance_every != 0) return;
+  now_ = floor;
+  hooks_.rebalance(*this, floor);
+}
+
+bool Engine::open_window_boundary(SimTime floor) {
+  window_end_ = floor + opts_.lookahead;
+  // A restored run resumes at the boundary whose post-hook state the
+  // checkpoint captured: stages 1-2 already ran there, so they must not
+  // re-fire (the ckpt stage is suppressed by last_ckpt_window_ instead).
+  const bool fire = !skip_boundary_hooks_;
+  skip_boundary_hooks_ = false;
+  if (fire) {
+    run_barrier_hooks(floor);
+    maybe_rebalance(floor);
+  }
+  const bool hook_stop = stop_requested();
+  maybe_checkpoint(floor);
+  // A stop raised by the ckpt stage ends the run *before* this window is
+  // processed (checkpoint-then-exit); one raised by stages 1-2 lets the
+  // window run and is caught at the loop-top stop check — the behavior
+  // barrier-hook stops have always had.
+  return !(stop_requested() && !hook_stop);
 }
 
 void Engine::probe_window(SimTime floor) {
@@ -197,6 +225,7 @@ void Engine::publish_run_metrics() {
   r.gauge("pdes.lps").set(static_cast<double>(lps_.size()));
   r.gauge("pdes.modeled_wall_s").add(stats_.modeled_wall_s);
   r.gauge("pdes.modeled_sync_s").add(stats_.modeled_sync_s);
+  r.gauge("pdes.modeled_migrate_s").add(stats_.modeled_migrate_s);
   r.gauge("pdes.end_vtime_s").set(to_seconds(stats_.end_vtime));
   r.gauge("pdes.lookahead_s").set(to_seconds(opts_.lookahead));
   // Scheduler internals (schema massf.metrics.v1, DESIGN.md section 5d).
@@ -234,13 +263,66 @@ void Engine::begin_run() {
 }
 
 void Engine::maybe_checkpoint(SimTime floor) {
-  if (ckpt_every_ == 0 || !ckpt_fn_) return;
+  if (hooks_.ckpt_every == 0 || !hooks_.ckpt) return;
   const std::uint64_t w = stats_.num_windows;
-  if (w == 0 || w % ckpt_every_ != 0 || w == last_ckpt_window_) return;
+  if (w == 0 || w % hooks_.ckpt_every != 0 || w == last_ckpt_window_) return;
   // Updated before the hook runs so save_state records it: a restored run
   // must not re-fire at the boundary it resumed from.
   last_ckpt_window_ = w;
-  ckpt_fn_(*this, floor);
+  now_ = floor;
+  hooks_.ckpt(*this, floor);
+}
+
+MigrationStats Engine::migrate_events(
+    LpId from, LpId to, const std::function<bool(const Event&)>& pred) {
+  MASSF_CHECK(from >= 0 && from < static_cast<LpId>(lps_.size()));
+  MASSF_CHECK(to >= 0 && to < static_cast<LpId>(lps_.size()));
+  MASSF_CHECK(from != to);
+  // Boundary-only: migration touches two LP queues at once, which is safe
+  // exactly when no handler is running (workers quiescent under the
+  // threaded executor — hooks run coordinator-only).
+  MASSF_CHECK(current_lp() == kInvalidLp);
+
+  Lp& src = lps_[static_cast<std::size_t>(from)];
+  Lp& dst = lps_[static_cast<std::size_t>(to)];
+
+  // Extract in (time, seq) order; re-pushing the kept events with their
+  // original keys leaves the source's pop order unchanged.
+  const std::vector<Event> pending = src.queue.sorted_events();
+  src.queue.clear();
+  ckpt::Writer w;
+  std::uint64_t moved = 0;
+  for (const Event& ev : pending) {
+    if (!pred(ev)) {
+      src.queue.push(ev);
+      continue;
+    }
+    // massf.ckpt.v1 migration record (DESIGN.md section 5f): only the
+    // payload travels — lp and seq are reassigned on arrival.
+    w.i64(ev.time);
+    w.i32(ev.type);
+    w.u64(ev.a);
+    w.u64(ev.b);
+    w.u64(ev.c);
+    w.u64(ev.d);
+    ++moved;
+  }
+
+  ckpt::Reader r(w.buffer().data(), w.size());
+  for (std::uint64_t k = 0; k < moved; ++k) {
+    Event ev;
+    ev.time = r.i64();
+    ev.type = r.i32();
+    ev.a = r.u64();
+    ev.b = r.u64();
+    ev.c = r.u64();
+    ev.d = r.u64();
+    ev.lp = to;
+    ev.seq = dst.next_seq++;
+    dst.queue.push(ev);
+  }
+  MASSF_CHECK(r.done());
+  return MigrationStats{moved, w.size()};
 }
 
 void Engine::save_state(ckpt::Writer& w) const {
@@ -252,6 +334,7 @@ void Engine::save_state(ckpt::Writer& w) const {
   w.u64(last_ckpt_window_);
   w.f64(stats_.modeled_wall_s);
   w.f64(stats_.modeled_sync_s);
+  w.f64(stats_.modeled_migrate_s);
   w.u64(stats_.cross_lp_events);
   w.u64(stats_.merge_batches);
   for (std::size_t i = 0; i < lps_.size(); ++i) {
@@ -294,6 +377,7 @@ bool Engine::restore_state(ckpt::Reader& r) {
   last_ckpt_window_ = r.u64();
   stats_.modeled_wall_s = r.f64();
   stats_.modeled_sync_s = r.f64();
+  stats_.modeled_migrate_s = r.f64();
   stats_.cross_lp_events = r.u64();
   stats_.merge_batches = r.u64();
   for (std::size_t i = 0; i < lps_.size(); ++i) {
@@ -328,6 +412,11 @@ bool Engine::restore_state(ckpt::Reader& r) {
   }
   if (!r.ok()) return false;
   restored_ = true;
+  // The snapshot captured post-barrier, post-rebalance state (EngineHooks
+  // firing order), so those stages must not re-run at the resumed boundary.
+  // A pre-run snapshot (num_windows == 0) precedes any boundary, so the
+  // first boundary's hooks still fire.
+  skip_boundary_hooks_ = stats_.num_windows > 0;
   return true;
 }
 
@@ -348,19 +437,17 @@ RunStats Engine::run() {
   const LpId n = static_cast<LpId>(lps_.size());
   SimTime floor = next_event_floor();
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
-    maybe_checkpoint(floor);
-    if (stop_requested()) break;  // ckpt hook may checkpoint-then-exit
-    window_end_ = floor + opts_.lookahead;
     if (probe_ == nullptr) {
-      run_barrier_hooks(floor);
+      if (!open_window_boundary(floor)) break;  // checkpoint-then-exit
       for (LpId i = 0; i < n; ++i) process_lp_window(i);
       for (LpId d = 0; d < n; ++d) merge_lp_inbox(d);
       clear_outboxes();
       account_window();
     } else {
       const auto t0 = Clock::now();
-      run_barrier_hooks(floor);
+      const bool go = open_window_boundary(floor);
       const auto t1 = Clock::now();
+      if (!go) break;  // checkpoint-then-exit
       for (LpId i = 0; i < n; ++i) process_lp_window(i);
       const auto t2 = Clock::now();
       for (LpId d = 0; d < n; ++d) merge_lp_inbox(d);

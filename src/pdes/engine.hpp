@@ -43,6 +43,41 @@ class Writer;
 
 class Engine;
 
+/// Every hook the engine fires at a window boundary, installed as one
+/// struct (set_hooks / hooks()). Firing order at each boundary, on the
+/// coordinator thread under both executors (workers quiescent, no handler
+/// running):
+///
+///   1. barrier hooks, in registration order — online pacing, fault
+///      injection, routing changes;
+///   2. the rebalance hook, every `rebalance_every` completed windows —
+///      may migrate LP state between engine nodes (Engine::migrate_events);
+///   3. the ckpt hook, every `ckpt_every` completed windows — snapshots the
+///      post-barrier, post-rebalance state.
+///
+/// Because the checkpoint captures state *after* stages 1–2, a restored run
+/// skips those stages at the boundary it resumed from (restore_state sets
+/// the skip; the ckpt stage is suppressed by last_ckpt_window_). Any stage
+/// may call request_stop(): from stages 1–2 the boundary's window is still
+/// processed before the run ends (matching the loop-top stop check); from
+/// stage 3 the run ends immediately — checkpoint-then-exit.
+struct EngineHooks {
+  std::vector<std::function<void(Engine&, SimTime)>> barrier;
+  /// 0 disables the rebalance stage.
+  std::uint64_t rebalance_every = 0;
+  std::function<void(Engine&, SimTime)> rebalance;
+  /// 0 disables the ckpt stage.
+  std::uint64_t ckpt_every = 0;
+  std::function<void(Engine&, SimTime)> ckpt;
+};
+
+/// Tally of one migrate_events() call: events re-registered on the
+/// destination and the massf.ckpt.v1 wire bytes they serialized to.
+struct MigrationStats {
+  std::uint64_t events = 0;
+  std::uint64_t bytes = 0;
+};
+
 /// One logical process: a simulation engine node owning a partition of the
 /// network. Implementations must be deterministic functions of the event
 /// stream (all randomness from per-LP forked Rng streams).
@@ -84,6 +119,9 @@ struct RunStats {
   double modeled_wall_s = 0;
   /// Modeled wall-clock spent in synchronization only.
   double modeled_sync_s = 0;
+  /// Modeled wall-clock charged for LP migrations (already included in
+  /// modeled_wall_s) — zero unless a rebalance hook moved state.
+  double modeled_migrate_s = 0;
   /// Per-LP modeled busy time (seconds).
   std::vector<double> busy_s;
   /// Virtual time at which the run stopped.
@@ -159,17 +197,25 @@ class Engine {
   /// re-reads the flag at every window boundary.
   void request_stop() { stop_requested_.store(true, std::memory_order_release); }
 
-  /// Registers a hook invoked at every window barrier with the window
-  /// start time. The online layer paces virtual time and injects live
-  /// traffic here; the failover controller applies routing changes here
-  /// (the barrier is the only point where shared routing state can be
-  /// mutated safely under the threaded executor). Hooks run outside of any
-  /// handler, in registration order.
+  /// Installs the window-boundary hook set, replacing whatever was
+  /// installed before. See EngineHooks for the firing-order contract.
+  void set_hooks(EngineHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Mutable access to the installed hooks — the composition path: each
+  /// subsystem (fault injector, failover, checkpointing, rebalancer)
+  /// appends or fills in its own stage without clobbering the others.
+  EngineHooks& hooks() { return hooks_; }
+  const EngineHooks& hooks() const { return hooks_; }
+
+  /// DEPRECATED shim (one PR): append to hooks().barrier instead. Barrier
+  /// hooks run at every window boundary with the window start time,
+  /// outside of any handler, in registration order (stage 1 of the
+  /// EngineHooks contract).
   void add_barrier_hook(std::function<void(Engine&, SimTime)> hook) {
-    barrier_hooks_.push_back(std::move(hook));
+    hooks_.barrier.push_back(std::move(hook));
   }
 
-  /// Backward-compatible alias for a single hook.
+  /// DEPRECATED shim (one PR): append to hooks().barrier instead.
   void set_barrier_hook(std::function<void(Engine&, SimTime)> hook) {
     add_barrier_hook(std::move(hook));
   }
@@ -186,18 +232,48 @@ class Engine {
   /// DESIGN.md). Null (the default) publishes nothing.
   void set_registry(obs::Registry* registry) { registry_ = registry; }
 
-  /// Arms the checkpoint hook: every `every_windows` completed windows the
-  /// engine invokes `fn(engine, floor)` at the window boundary, *before*
-  /// that boundary's barrier hooks run — the state captured is exactly what
-  /// a restored run recomputes before re-running the same boundary's hooks.
-  /// Runs on the coordinator thread under both executors, outside any
-  /// handler; the fn typically drives Participants::save + a file write and
+  /// DEPRECATED shim (one PR): set hooks().ckpt_every / hooks().ckpt
+  /// instead. The ckpt stage fires every `every_windows` completed windows
+  /// at the window boundary, after the barrier and rebalance stages (stage
+  /// 3 of the EngineHooks contract — the snapshot captures post-hook
+  /// state). The fn typically drives Participants::save + a file write and
   /// may call request_stop() to end the run at this boundary (checkpoint-
   /// then-exit). every_windows == 0 disarms.
   void set_ckpt_hook(std::uint64_t every_windows,
                      std::function<void(Engine&, SimTime)> fn) {
-    ckpt_every_ = every_windows;
-    ckpt_fn_ = std::move(fn);
+    hooks_.ckpt_every = every_windows;
+    hooks_.ckpt = std::move(fn);
+  }
+
+  /// Moves the pending events of LP `from` that satisfy `pred` to LP `to`:
+  /// the matching events are extracted in (time, seq) order, serialized
+  /// through the massf.ckpt.v1 record encoding (DESIGN.md section 5f), and
+  /// re-registered on the destination with fresh destination seqs — so the
+  /// migrated events sort after `to`'s previously pending same-timestamp
+  /// events, deterministically under both executors. Callable only at a
+  /// window boundary (from a barrier or rebalance hook; no handler may be
+  /// running). Returns the events moved and their serialized size.
+  MigrationStats migrate_events(LpId from, LpId to,
+                                const std::function<bool(const Event&)>& pred);
+
+  /// Charges `seconds` of modeled wall-clock to the run (recorded in both
+  /// modeled_wall_s and modeled_migrate_s) — the rebalancer's honest
+  /// accounting of migration cost. Coordinator-only, at a boundary.
+  void charge_modeled_cost(double seconds) {
+    stats_.modeled_wall_s += seconds;
+    stats_.modeled_migrate_s += seconds;
+  }
+
+  /// Events processed by `lp` so far this run — live (mid-run) view of the
+  /// tally that finish_run publishes as RunStats::events_per_lp. The
+  /// rebalance controller reads these at boundaries to measure imbalance.
+  std::uint64_t lp_events(LpId lp) const {
+    return lps_[static_cast<std::size_t>(lp)].events;
+  }
+
+  /// Pending (not yet executed) events queued on `lp`.
+  std::size_t lp_pending(LpId lp) const {
+    return lps_[static_cast<std::size_t>(lp)].queue.size();
   }
 
   /// Serializes engine-owned run state: per-LP pending events in (time,
@@ -239,11 +315,19 @@ class Engine {
   void account_window();
   void process_lp_window(LpId i);
   void run_barrier_hooks(SimTime floor);
-  /// Fires the ckpt hook when the boundary at `floor` completes a multiple
-  /// of ckpt_every_ windows. Coordinator-only, before the boundary's
-  /// barrier hooks. last_ckpt_window_ keeps a restored run from re-saving
-  /// (or re-stopping) at the boundary it just resumed from.
+  /// Stage 2: fires the rebalance hook when the boundary completes a
+  /// multiple of hooks_.rebalance_every windows. Coordinator-only.
+  void maybe_rebalance(SimTime floor);
+  /// Stage 3: fires the ckpt hook when the boundary at `floor` completes a
+  /// multiple of hooks_.ckpt_every windows. Coordinator-only, after the
+  /// boundary's barrier and rebalance stages. last_ckpt_window_ keeps a
+  /// restored run from re-saving (or re-stopping) at the boundary it just
+  /// resumed from.
   void maybe_checkpoint(SimTime floor);
+  /// The full boundary sequence (EngineHooks contract) for the window
+  /// opening at `floor`; returns false when the run must end at this
+  /// boundary without processing the window (checkpoint-then-exit).
+  bool open_window_boundary(SimTime floor);
   void probe_window(SimTime floor);
   void publish_run_metrics();
   bool stop_requested() const {
@@ -261,15 +345,17 @@ class Engine {
   /// Thread count of the last run (0 = sequential), for pdes.sched.*.
   std::int32_t run_threads_ = 0;
   RunStats stats_;
-  std::vector<std::function<void(Engine&, SimTime)>> barrier_hooks_;
+  EngineHooks hooks_;
   obs::WindowProbe* probe_ = nullptr;
   obs::Registry* registry_ = nullptr;
-  std::uint64_t ckpt_every_ = 0;
-  std::function<void(Engine&, SimTime)> ckpt_fn_;
   std::uint64_t last_ckpt_window_ = 0;
   /// Set by restore_state; makes the next begin_run keep the restored
   /// RunStats instead of zeroing them (consumed by that run).
   bool restored_ = false;
+  /// Set by restore_state; the checkpoint captured post-barrier, post-
+  /// rebalance state, so those stages must not re-fire at the boundary the
+  /// run resumes from (consumed at the first boundary).
+  bool skip_boundary_hooks_ = false;
 
   void begin_run();
   void finish_run(SimTime floor);

@@ -96,15 +96,13 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
 
   SimTime floor = next_event_floor();
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
-    // Coordinator-only: workers are parked at the open gate, so the ckpt
-    // hook sees the same quiescent boundary the sequential executor does.
-    maybe_checkpoint(floor);
-    if (stop_requested()) break;  // ckpt hook may checkpoint-then-exit
-    window_end_ = floor + opts_.lookahead;
+    // Coordinator-only: workers are parked at the open gate, so the whole
+    // boundary sequence (barrier hooks → rebalance → ckpt, EngineHooks
+    // contract) sees the same quiescent state the sequential executor does.
     process_claim.store(0, std::memory_order_relaxed);
     merge_claim.store(0, std::memory_order_relaxed);
     if (probe_ == nullptr) {
-      run_barrier_hooks(floor);
+      if (!open_window_boundary(floor)) break;  // checkpoint-then-exit
       open_gate.arrive_and_wait();
       window_phase(0);
       close_gate.arrive_and_wait();
@@ -112,8 +110,9 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
       account_window();
     } else {
       const auto t0 = Clock::now();
-      run_barrier_hooks(floor);
+      const bool go = open_window_boundary(floor);
       const auto t1 = Clock::now();
+      if (!go) break;  // checkpoint-then-exit
       open_gate.arrive_and_wait();
       // Inlined window_phase so the end of the processing phase (everyone
       // through the mid barrier) can be timestamped.

@@ -14,7 +14,7 @@ FailoverController::FailoverController(ForwardingPlane& fp,
 }
 
 void FailoverController::attach(Engine& engine) {
-  engine.add_barrier_hook([this](Engine& eng, SimTime window_start) {
+  engine.hooks().barrier.push_back([this](Engine& eng, SimTime window_start) {
     on_barrier(eng, window_start);
   });
 }

@@ -211,7 +211,9 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
   eo.load_bin = opts_.load_bin;
   Engine engine(eo);
 
-  NetSim sim(net_, *fp_, mapping.router_lp, engine, opts_.netsim);
+  NetSimOptions no = opts_.netsim;
+  if (opts_.rebalance.enabled) no.collect_node_profile = true;
+  NetSim sim(net_, *fp_, mapping.router_lp, engine, no);
   TrafficManager manager(sim);
   install_traffic(engine, sim, manager, /*profiling=*/false);
   manager.start(engine, sim);
@@ -220,6 +222,17 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
   // whose purpose is producing the mapping input, not observations).
   engine.set_registry(opts_.registry);
   engine.set_probe(opts_.probe);
+
+  if (opts_.pre_run) opts_.pre_run(engine, sim);
+
+  // Online rebalancing (DESIGN.md section 5f): the controller installs
+  // itself as the engine's rebalance stage (barrier -> rebalance -> ckpt).
+  std::unique_ptr<RebalanceController> rebalancer;
+  if (opts_.rebalance.enabled) {
+    rebalancer = std::make_unique<RebalanceController>(sim, opts_.cluster,
+                                                       opts_.rebalance);
+    rebalancer->arm(engine);
+  }
 
   // Checkpoint/restore (DESIGN.md section 5e): the participants list is the
   // full inventory of state that can diverge from construction. The engine
@@ -242,6 +255,12 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
     parts.add(
         "routing.fp", [this](ckpt::Writer& w) { fp_->save(w); },
         [this](ckpt::Reader& r) { return fp_->load(r); });
+    if (rebalancer != nullptr) {
+      RebalanceController* rc = rebalancer.get();
+      parts.add(
+          "lb.rebalance", [rc](ckpt::Writer& w) { rc->save(w); },
+          [rc](ckpt::Reader& r) { return rc->load(r); });
+    }
     if (opts_.probe != nullptr) {
       obs::WindowProbe* probe = opts_.probe;
       parts.add(
@@ -252,8 +271,8 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
   if (opts_.ckpt.every_windows > 0) {
     MASSF_CHECK(!opts_.ckpt.path.empty() &&
                 "CkptOptions::every_windows requires a path");
-    engine.set_ckpt_hook(
-        opts_.ckpt.every_windows, [this, &parts](Engine& eng, SimTime) {
+    engine.hooks().ckpt_every = opts_.ckpt.every_windows;
+    engine.hooks().ckpt = [this, &parts](Engine& eng, SimTime) {
           const auto t0 = std::chrono::steady_clock::now();
           ckpt::Checkpoint ck;
           parts.save(ck);
@@ -274,7 +293,7 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
             opts_.registry->gauge("ckpt.write_ms").set(write_ms);
           }
           if (opts_.ckpt.stop_after) eng.request_stop();
-        });
+        };
   }
   if (!opts_.ckpt.restore_path.empty()) {
     std::string error;
@@ -305,6 +324,7 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
         .set(result.metrics.load_imbalance);
     opts_.registry->gauge("sim.parallel_efficiency")
         .set(result.metrics.parallel_efficiency);
+    if (rebalancer != nullptr) rebalancer->publish_metrics(*opts_.registry);
   }
   return result;
 }

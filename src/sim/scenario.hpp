@@ -16,6 +16,7 @@
 #include "cluster/metrics.hpp"
 #include "lb/mapping.hpp"
 #include "lb/profile.hpp"
+#include "lb/rebalance.hpp"
 #include "net/netsim.hpp"
 #include "routing/forwarding.hpp"
 #include "topology/brite.hpp"
@@ -81,6 +82,15 @@ struct ScenarioOptions {
   NetSimOptions netsim;
   MappingOptions mapping;  ///< kind/num_engines/cluster are overridden
   CkptOptions ckpt;        ///< measured-run checkpointing (off by default)
+  /// Online LP rebalancing during the measured run (off by default; forces
+  /// collect_node_profile on when enabled). DESIGN.md section 5f.
+  RebalanceOptions rebalance;
+
+  /// Invoked on the measured run after traffic installation and before
+  /// rebalance/checkpoint arming. The place for callers to attach extra
+  /// machinery (e.g. a FaultInjector, which lives in a layer above this
+  /// one) to the engine/NetSim pair the run is about to execute.
+  std::function<void(Engine&, NetSim&)> pre_run;
 
   // ---- telemetry (obs/) ----------------------------------------------------
   /// When set, the measured run publishes engine/net/traffic/sim metrics
@@ -129,6 +139,17 @@ class Scenario {
   /// Scenario can execute the interrupted phase and the restored phase
   /// (same topology, host selection, and cached profile) back to back.
   void set_ckpt(const CkptOptions& ckpt) { opts_.ckpt = ckpt; }
+
+  /// Replaces the pre-run callback (ScenarioOptions::pre_run) for
+  /// subsequent run() calls — needed by callers whose attachments (e.g. a
+  /// FaultInjector) require the constructed network/forwarding plane.
+  void set_pre_run(std::function<void(Engine&, NetSim&)> fn) {
+    opts_.pre_run = std::move(fn);
+  }
+
+  /// Mutable forwarding plane, for machinery that rewires routes during
+  /// the run (FailoverController behind a FaultInjector).
+  ForwardingPlane& forwarding_mut() { return *fp_; }
 
   /// Conservative lookahead of a router->engine assignment: the minimum
   /// latency over links whose endpoints land on different engines (host

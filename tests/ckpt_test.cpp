@@ -319,7 +319,7 @@ struct FuzzStack {
           sc.fanout_budget);
     }
     hook_rng = seed ^ 0xf00dULL;
-    engine->set_barrier_hook([this](Engine& eng, SimTime floor) {
+    engine->hooks().barrier.push_back([this](Engine& eng, SimTime floor) {
       ++windows_seen;
       if (sc.hook_injects && mix64(hook_rng) % 7 == 0) {
         const std::uint64_t r = mix64(hook_rng);

@@ -306,5 +306,87 @@ TEST(Mapping, SingleEngine) {
   EXPECT_EQ(m.edge_cut, 0);
 }
 
+/// A hand-built line network: `routers` routers chained with 1 ms links,
+/// one host on router 0 (validate() requires every host attached).
+Network tiny_line_network(std::int32_t routers) {
+  Network net;
+  net.num_routers = routers;
+  net.nodes.assign(static_cast<std::size_t>(routers), NetNode{});
+  for (std::int32_t r = 0; r + 1 < routers; ++r) {
+    NetLink l;
+    l.a = r;
+    l.b = r + 1;
+    l.latency = milliseconds(1);
+    l.bandwidth_bps = 1e9;
+    net.links.push_back(l);
+  }
+  NetNode host;
+  host.kind = NodeKind::kHost;
+  host.attach_router = 0;
+  net.nodes.push_back(host);
+  NetLink access;
+  access.a = static_cast<NodeId>(net.nodes.size()) - 1;
+  access.b = 0;
+  access.latency = microseconds(10);
+  access.bandwidth_bps = 1e9;
+  net.links.push_back(access);
+  net.build_adjacency();
+  EXPECT_EQ(net.validate(), "");
+  return net;
+}
+
+// ---- hierarchical Tmll sweep edge cases -----------------------------------
+
+TEST(Hierarchical, MoreEnginesThanVertices) {
+  // 4 routers cannot fill 8 engines: the sweep must not crash or emit
+  // out-of-range LPs; every engine id stays in [0, num_engines) and every
+  // router is assigned somewhere.
+  const Network net = tiny_line_network(4);
+  MappingOptions opts = base_opts(8);
+  opts.kind = MappingKind::kHTop;
+  const Mapping m = compute_mapping(net, opts, nullptr);
+  ASSERT_EQ(static_cast<NodeId>(m.router_lp.size()), net.num_routers);
+  for (LpId lp : m.router_lp) {
+    EXPECT_GE(lp, 0);
+    EXPECT_LT(lp, opts.num_engines);
+  }
+}
+
+TEST(Hierarchical, ZeroTrafficProfile) {
+  // A PROF profile from a run that processed nothing: every router weight
+  // floors at +1, so HPROF must still produce a balanced, valid mapping
+  // rather than dividing by a zero total weight.
+  const Network net = test_network(200);
+  TrafficProfile profile;
+  profile.router_events.assign(static_cast<std::size_t>(net.num_routers), 0);
+  MappingOptions opts = base_opts(4);
+  opts.kind = MappingKind::kHProf;
+  const Mapping m = compute_mapping(net, opts, &profile);
+  ASSERT_EQ(static_cast<NodeId>(m.router_lp.size()), net.num_routers);
+  std::set<LpId> used(m.router_lp.begin(), m.router_lp.end());
+  EXPECT_GT(used.size(), 1u) << "all-equal weights must still spread load";
+  for (LpId lp : m.router_lp) {
+    EXPECT_GE(lp, 0);
+    EXPECT_LT(lp, opts.num_engines);
+  }
+}
+
+TEST(Hierarchical, StepLargerThanMax) {
+  // tmll_step > tmll_max leaves the sweep zero candidate thresholds; the
+  // mapping must fall back (flat refinement) instead of crashing or
+  // returning an empty assignment.
+  const Network net = test_network(300);
+  MappingOptions opts = base_opts(8);
+  opts.kind = MappingKind::kHTop;
+  opts.tmll_step = milliseconds(50);
+  opts.tmll_max = milliseconds(20);
+  const Mapping m = compute_mapping(net, opts, nullptr);
+  ASSERT_EQ(static_cast<NodeId>(m.router_lp.size()), net.num_routers);
+  for (LpId lp : m.router_lp) {
+    EXPECT_GE(lp, 0);
+    EXPECT_LT(lp, opts.num_engines);
+  }
+}
+
 }  // namespace
 }  // namespace massf

@@ -197,7 +197,7 @@ TEST(Engine, BarrierHookInjectsLiveEvents) {
   engine.add_lp(std::move(lp));
   engine.schedule(0, milliseconds(1), 7);
   bool injected = false;
-  engine.set_barrier_hook([&](Engine& eng, SimTime window_start) {
+  engine.hooks().barrier.push_back([&](Engine& eng, SimTime window_start) {
     if (!injected) {
       injected = true;
       eng.schedule(0, window_start + eng.options().lookahead, 9, 42);
@@ -214,8 +214,8 @@ TEST(Engine, MultipleBarrierHooksRunInOrder) {
   engine.add_lp(std::move(lp));
   engine.schedule(0, milliseconds(1), 7);
   std::vector<int> order;
-  engine.add_barrier_hook([&](Engine&, SimTime) { order.push_back(1); });
-  engine.add_barrier_hook([&](Engine&, SimTime) { order.push_back(2); });
+  engine.hooks().barrier.push_back([&](Engine&, SimTime) { order.push_back(1); });
+  engine.hooks().barrier.push_back([&](Engine&, SimTime) { order.push_back(2); });
   engine.run();
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 1);
@@ -231,7 +231,7 @@ TEST(Engine, RequestStopEndsRun) {
   engine.add_lp(std::move(lp));
   engine.schedule(0, milliseconds(1), 3);
   int windows = 0;
-  engine.set_barrier_hook([&](Engine& eng, SimTime) {
+  engine.hooks().barrier.push_back([&](Engine& eng, SimTime) {
     if (++windows == 5) eng.request_stop();
   });
   engine.run();
@@ -356,7 +356,7 @@ void run_hook_injection_at(SimTime offset_from_window_end, bool threaded) {
   engine.add_lp(std::move(lp));
   engine.schedule(0, milliseconds(1), 3);
   bool injected = false;
-  engine.set_barrier_hook([&](Engine& eng, SimTime floor) {
+  engine.hooks().barrier.push_back([&](Engine& eng, SimTime floor) {
     if (!injected) {
       injected = true;
       eng.schedule(0, floor + eng.options().lookahead + offset_from_window_end,
@@ -448,7 +448,7 @@ TEST(ThreadedEngine, BitIdenticalStatsWithHooksAndStop) {
     }
     engine.schedule(0, milliseconds(1), 1, 2000);
     int windows = 0;
-    engine.set_barrier_hook([&](Engine& eng, SimTime floor) {
+    engine.hooks().barrier.push_back([&](Engine& eng, SimTime floor) {
       // Inject from the hook every 8th window, stop after 100.
       if (++windows % 8 == 0) {
         eng.schedule(1, floor + eng.options().lookahead, 1, 3);
@@ -487,7 +487,7 @@ TEST(ThreadedEngine, HooksSeeWindowFloorViaNow) {
     engine.add_lp(std::move(lp));
     engine.schedule(0, milliseconds(1), 3);
     std::vector<std::pair<SimTime, SimTime>> seen;
-    engine.set_barrier_hook([&](Engine& eng, SimTime floor) {
+    engine.hooks().barrier.push_back([&](Engine& eng, SimTime floor) {
       seen.emplace_back(floor, eng.now());
     });
     if (threaded) {
