@@ -9,8 +9,8 @@
 // ("massf.bench_pdes.v1") is documented in DESIGN.md and README.md.
 //
 // Usage: bench_pdes [--lps=32] [--chain=64] [--hops=2000] [--threads=N]
-//                   [--sweep=1,2,4] [--repeats=3] [--out=BENCH_pdes.json]
-//                   [--print-golden]
+//                   [--sweep=1,2,4] [--repeats=3] [--sync=both]
+//                   [--out=BENCH_pdes.json] [--print-golden]
 //
 // --print-golden runs the sequential reference once and prints only the
 // workload checksum — the value pinned by BENCH_pdes.json, the checkpoint
@@ -22,6 +22,19 @@
 // one entry per count, so a single invocation captures the scaling curve.
 // Pass --sweep=none to skip it. Every run's checksum must agree with the
 // sequential reference or the bench fails.
+//
+// --sync selects the threaded synchronization protocol(s): barrier,
+// channel, or both (the default — one "threaded" + "threaded_channel"
+// entry pair plus a per-mode sweep, so one report carries baselines for
+// both protocols and check_bench.py gates them independently).
+//
+// Wait-time semantics: every entry reports `barrier_wait_s`, the *summed*
+// idle/blocked thread-seconds the probe attributed to synchronization
+// (legitimately larger than wall_s — it is a thread-seconds quantity), and
+// `barrier_wait_mean_s`, the per-thread mean, which is the number to read
+// against wall_s. Barrier entries measure idle time inside the processing
+// phase (span x threads - busy); channel entries measure protocol-imposed
+// blocking (channel stalls + epoch parks, SyncStats in channel_sync.hpp).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -83,21 +96,32 @@ struct Workload {
 
 struct Measurement {
   RunStats stats;
+  std::int32_t threads = 0;
+  const char* sync = "none";  ///< "none" (sequential), "barrier", "channel"
   double wall_s = 0;
   double events_per_sec = 0;
   std::uint64_t checksum = 0;
-  double barrier_wait_s = 0;  ///< idle thread-seconds at window barriers
+  /// Summed thread-seconds attributed to synchronization (a thread-seconds
+  /// quantity: legitimately > wall_s on multi-thread runs).
+  double barrier_wait_s = 0;
+  /// Per-thread mean of barrier_wait_s — the like-with-like number to read
+  /// against wall_s.
+  double barrier_wait_mean_s = 0;
   double hook_s = 0;
   double process_s = 0;
   double merge_s = 0;
+  std::uint64_t null_events = 0;        ///< channel runs only
+  std::uint64_t quiescence_epochs = 0;  ///< channel runs only
 };
 
-Measurement measure(const Workload& w, std::int32_t threads, int repeats) {
+Measurement measure(const Workload& w, std::int32_t threads, int repeats,
+                    SyncMode sync = SyncMode::kBarrier) {
   Measurement best;
   for (int rep = 0; rep < repeats; ++rep) {
     EngineOptions o;
     o.lookahead = milliseconds(1);
     o.end_time = seconds(3600);
+    o.sync = sync;
     Engine engine(o);
     std::vector<RingLp*> lps;
     for (std::int64_t i = 0; i < w.lps; ++i) {
@@ -106,6 +130,15 @@ Measurement measure(const Workload& w, std::int32_t threads, int repeats) {
       lps.push_back(lp.get());
       engine.add_lp(std::move(lp));
     }
+    // The ring's true topology: LP i only ever sends to its successor, at
+    // exactly the lookahead. Declaring it lets the channel executor
+    // synchronize per edge instead of all-pairs.
+    ChannelGraph graph;
+    for (std::int64_t i = 0; i < w.lps; ++i) {
+      graph.add(static_cast<LpId>(i), static_cast<LpId>((i + 1) % w.lps),
+                o.lookahead);
+    }
+    engine.set_channels(std::move(graph));
     for (std::int64_t i = 0; i < w.lps; ++i) {
       engine.schedule(static_cast<LpId>(i), 0, kEvHop,
                       static_cast<std::uint64_t>(w.hops));
@@ -123,6 +156,8 @@ Measurement measure(const Workload& w, std::int32_t threads, int repeats) {
 
     Measurement m;
     m.stats = stats;
+    m.threads = threads;
+    m.sync = threads > 0 ? sync_mode_name(sync) : "none";
     m.wall_s = wall_s;
     m.events_per_sec =
         wall_s > 0 ? static_cast<double>(stats.total_events) / wall_s : 0;
@@ -131,20 +166,24 @@ Measurement measure(const Workload& w, std::int32_t threads, int repeats) {
     }
     const obs::WindowProbe::Summary s = probe.summary();
     m.barrier_wait_s = s.barrier_wait_s;
+    m.barrier_wait_mean_s =
+        threads > 0 ? s.barrier_wait_s / threads : s.barrier_wait_s;
     m.hook_s = s.hook_s;
     m.process_s = s.process_s;
     m.merge_s = s.merge_s;
+    m.null_events = engine.sync_stats().null_events;
+    m.quiescence_epochs = engine.sync_stats().quiescence_epochs;
     if (rep == 0 || m.wall_s < best.wall_s) best = m;
   }
   return best;
 }
 
-std::string measurement_json(const Measurement& m, std::int32_t threads,
-                             const char* indent) {
+std::string measurement_json(const Measurement& m, const char* indent) {
   using obs::format_double;
   const std::string in(indent);
   std::string out = "{\n";
-  out += in + "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += in + "  \"threads\": " + std::to_string(m.threads) + ",\n";
+  out += in + "  \"sync\": \"" + std::string(m.sync) + "\",\n";
   out += in + "  \"events\": " + std::to_string(m.stats.total_events) + ",\n";
   out += in + "  \"windows\": " + std::to_string(m.stats.num_windows) + ",\n";
   out += in + "  \"wall_s\": " + format_double(m.wall_s) + ",\n";
@@ -154,16 +193,21 @@ std::string measurement_json(const Measurement& m, std::int32_t threads,
   out += in + "  \"process_s\": " + format_double(m.process_s) + ",\n";
   out +=
       in + "  \"barrier_wait_s\": " + format_double(m.barrier_wait_s) + ",\n";
+  out += in + "  \"barrier_wait_mean_s\": " +
+         format_double(m.barrier_wait_mean_s) + ",\n";
   out += in + "  \"merge_s\": " + format_double(m.merge_s) + ",\n";
+  if (std::string(m.sync) == "channel") {
+    out += in + "  \"null_events\": " + std::to_string(m.null_events) + ",\n";
+    out += in + "  \"quiescence_epochs\": " +
+           std::to_string(m.quiescence_epochs) + ",\n";
+  }
   out += in + "  \"checksum\": " + std::to_string(m.checksum) + "\n";
   out += in + "}";
   return out;
 }
 
-std::string executor_json(const char* name, const Measurement& m,
-                          std::int32_t threads) {
-  return "  \"" + std::string(name) + "\": " +
-         measurement_json(m, threads, "  ");
+std::string executor_json(const char* name, const Measurement& m) {
+  return "  \"" + std::string(name) + "\": " + measurement_json(m, "  ");
 }
 
 std::vector<std::int32_t> parse_sweep(const std::string& spec) {
@@ -198,8 +242,21 @@ int main(int argc, char** argv) {
       flags.get_string("out", "BENCH_pdes.json");
   const std::vector<std::int32_t> sweep =
       parse_sweep(flags.get_string("sweep", "1,2,4"));
+  const std::string sync_spec = flags.get_string("sync", "both");
   if (threads < 1 || repeats < 1) {
     std::fprintf(stderr, "[bench_pdes] --threads and --repeats must be >= 1\n");
+    return 2;
+  }
+  std::vector<SyncMode> modes;
+  if (sync_spec == "barrier" || sync_spec == "both") {
+    modes.push_back(SyncMode::kBarrier);
+  }
+  if (sync_spec == "channel" || sync_spec == "both") {
+    modes.push_back(SyncMode::kChannel);
+  }
+  if (modes.empty()) {
+    std::fprintf(stderr,
+                 "[bench_pdes] --sync must be barrier, channel, or both\n");
     return 2;
   }
 
@@ -226,40 +283,56 @@ int main(int argc, char** argv) {
            seq.stats.total_events == m.stats.total_events;
   };
 
-  std::vector<std::pair<std::int32_t, Measurement>> sweep_runs;
-  Measurement thr;
-  bool have_thr = false;
-  for (const std::int32_t t : sweep) {
-    const Measurement m = measure(w, t, repeats);
-    std::fprintf(stderr, "[bench_pdes] threaded(%d): %.0f events/s\n", t,
-                 m.events_per_sec);
-    if (!agrees(m)) {
-      std::fprintf(stderr,
-                   "[bench_pdes] ERROR: executors disagree at %d threads "
-                   "(checksum %llu vs %llu)\n",
-                   t, static_cast<unsigned long long>(seq.checksum),
-                   static_cast<unsigned long long>(m.checksum));
-      return 1;
+  std::vector<Measurement> sweep_runs;
+  Measurement thr_barrier;
+  Measurement thr_channel;
+  bool have_barrier = false;
+  bool have_channel = false;
+  for (const SyncMode mode : modes) {
+    Measurement* top =
+        mode == SyncMode::kChannel ? &thr_channel : &thr_barrier;
+    bool* have = mode == SyncMode::kChannel ? &have_channel : &have_barrier;
+    for (const std::int32_t t : sweep) {
+      const Measurement m = measure(w, t, repeats, mode);
+      std::fprintf(stderr, "[bench_pdes] threaded(%d, %s): %.0f events/s\n",
+                   t, sync_mode_name(mode), m.events_per_sec);
+      if (!agrees(m)) {
+        std::fprintf(stderr,
+                     "[bench_pdes] ERROR: executors disagree at %d threads "
+                     "(%s sync, checksum %llu vs %llu)\n",
+                     t, sync_mode_name(mode),
+                     static_cast<unsigned long long>(seq.checksum),
+                     static_cast<unsigned long long>(m.checksum));
+        return 1;
+      }
+      sweep_runs.push_back(m);
+      if (t == threads) {
+        *top = m;
+        *have = true;
+      }
     }
-    sweep_runs.emplace_back(t, m);
-    if (t == threads) {
-      thr = m;
-      have_thr = true;
+    if (!*have) {
+      *top = measure(w, threads, repeats, mode);
+      std::fprintf(stderr, "[bench_pdes] threaded(%d, %s): %.0f events/s\n",
+                   threads, sync_mode_name(mode), top->events_per_sec);
+      if (!agrees(*top)) {
+        std::fprintf(stderr,
+                     "[bench_pdes] ERROR: executors disagree (%s sync, "
+                     "checksum %llu vs %llu)\n",
+                     sync_mode_name(mode),
+                     static_cast<unsigned long long>(seq.checksum),
+                     static_cast<unsigned long long>(top->checksum));
+        return 1;
+      }
+      *have = true;
     }
   }
-  if (!have_thr) {
-    thr = measure(w, threads, repeats);
-    std::fprintf(stderr, "[bench_pdes] threaded(%d): %.0f events/s\n", threads,
-                 thr.events_per_sec);
-    if (!agrees(thr)) {
-      std::fprintf(stderr,
-                   "[bench_pdes] ERROR: executors disagree (checksum %llu vs "
-                   "%llu)\n",
-                   static_cast<unsigned long long>(seq.checksum),
-                   static_cast<unsigned long long>(thr.checksum));
-      return 1;
-    }
-  }
+
+  const auto speedup = [&seq](const Measurement& m) {
+    return m.events_per_sec > 0 && seq.events_per_sec > 0
+               ? m.events_per_sec / seq.events_per_sec
+               : 0;
+  };
 
   using obs::format_double;
   std::string json = "{\n  \"schema\": \"massf.bench_pdes.v2\",\n";
@@ -269,20 +342,27 @@ int main(int argc, char** argv) {
           ", \"lookahead_ms\": 1, \"repeats\": " + std::to_string(repeats) +
           ", \"host_cpus\": " +
           std::to_string(std::thread::hardware_concurrency()) + "},\n";
-  json += executor_json("sequential", seq, 0) + ",\n";
-  json += executor_json("threaded", thr, threads) + ",\n";
+  json += executor_json("sequential", seq) + ",\n";
+  if (have_barrier) json += executor_json("threaded", thr_barrier) + ",\n";
+  if (have_channel) {
+    json += executor_json("threaded_channel", thr_channel) + ",\n";
+  }
   json += "  \"sweep\": [";
   for (std::size_t i = 0; i < sweep_runs.size(); ++i) {
     json += i == 0 ? "\n    " : ",\n    ";
-    json += measurement_json(sweep_runs[i].second, sweep_runs[i].first,
-                             "    ");
+    json += measurement_json(sweep_runs[i], "    ");
   }
   json += sweep_runs.empty() ? "],\n" : "\n  ],\n";
-  json += "  \"speedup\": " +
-          format_double(thr.events_per_sec > 0 && seq.events_per_sec > 0
-                            ? thr.events_per_sec / seq.events_per_sec
-                            : 0) +
-          "\n}\n";
+  if (have_barrier) {
+    json += "  \"speedup\": " + format_double(speedup(thr_barrier)) + ",\n";
+  }
+  if (have_channel) {
+    json += "  \"speedup_channel\": " + format_double(speedup(thr_channel)) +
+            ",\n";
+  }
+  // Trailing comma cleanup: replace the final ",\n" with "\n}\n".
+  json.erase(json.size() - 2);
+  json += "\n}\n";
 
   if (!obs::write_file(out_path, json)) {
     std::fprintf(stderr, "[bench_pdes] failed to write %s\n",

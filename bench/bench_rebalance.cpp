@@ -23,6 +23,7 @@
 // and the rebalanced run's full massf.metrics.v1 export (including the
 // lb.rebalance.* block). Gated in CI by scripts/check_bench.py.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -187,16 +188,19 @@ RunResult run_once(const Scale& s, const Network& net,
   return r;
 }
 
-/// Strips the executor-identity gauge (worker count) from a
-/// massf.metrics.v1 export: it is the one field that legitimately differs
-/// between the sequential and threaded runs of the same simulation.
+/// Strips the executor-identity fields (worker-count gauge, pdes.sync.*
+/// protocol counters) from a massf.metrics.v1 export: they describe which
+/// executor ran, not the simulation, and legitimately differ between the
+/// sequential and threaded runs of the same workload.
 std::string strip_executor_identity(std::string json) {
-  const std::string key = "\"pdes.sched.threads\":";
-  const auto pos = json.find(key);
-  if (pos == std::string::npos) return json;
-  auto end = json.find_first_of(",}\n", pos + key.size());
-  if (end == std::string::npos) end = json.size();
-  json.erase(pos, end - pos);
+  for (const char* key : {"\"pdes.sched.threads\":", "\"pdes.sync."}) {
+    for (auto pos = json.find(key); pos != std::string::npos;
+         pos = json.find(key, pos)) {
+      auto end = json.find_first_of(",}\n", pos + std::strlen(key));
+      if (end == std::string::npos) end = json.size();
+      json.erase(pos, end - pos);
+    }
+  }
   return json;
 }
 

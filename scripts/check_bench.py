@@ -4,7 +4,7 @@
 Schemas understood (dispatched on the current report's "schema" field):
 
   massf.bench_pdes.v2 — compare a fresh `bench_pdes --json` run against the
-  committed BENCH_pdes.json baseline. Two classes of check:
+  committed BENCH_pdes.json baseline. Checks:
     * Determinism (exact): every executor entry must report the pinned
       golden checksum plus the exact event and window counts. Any drift
       means the event-ordering contract changed — see tests/regen_golden.sh
@@ -12,7 +12,23 @@ Schemas understood (dispatched on the current report's "schema" field):
     * Throughput (tolerant): events/s may regress by at most --tolerance
       (fractional, default 0.5 — CI runners are noisy and slower than the
       machine that produced the baseline; the gate exists to catch
-      order-of-magnitude cliffs, not single-digit noise).
+      order-of-magnitude cliffs, not single-digit noise). Entries are
+      matched by (sync, threads) so barrier and channel rows are gated
+      against their own baselines, never each other.
+    * Wait accounting (exact-ish): barrier_wait_s is a summed thread-
+      seconds quantity; barrier_wait_mean_s must equal it divided by the
+      thread count, so the two fields cannot drift apart and a reader
+      comparing waits against wall_s compares like with like.
+    * Channel-wait reduction (self-contained): when the current report
+      carries both a "threaded" (barrier) and "threaded_channel" entry at
+      the same thread count, the channel protocol's summed wait must be at
+      least --min-wait-reduction (default 0.5) below the barrier's — same
+      machine, same run, identical event counts by the determinism check.
+      Applied only when config.host_cpus >= threads: on an oversubscribed
+      host the summed wait is pinned near (threads - 1) * wall_s by the OS
+      scheduler for *any* protocol, so the comparison would measure core
+      starvation, not synchronization. (Channel sync still shows up there
+      as lower wall_s / higher events/s, which the throughput check gates.)
 
   massf.bench_rebalance.v1 — self-contained gate on a
   `bench_rebalance --json` run (no baseline file needed):
@@ -27,7 +43,7 @@ Usage:
                                   # overwrite the committed baseline
   scripts/check_bench.py [--baseline BENCH_pdes.json] [--current current.json]
                          [--tolerance 0.5] [--allow-missing-baseline]
-                         [--min-improvement 0.15]
+                         [--min-improvement 0.15] [--min-wait-reduction 0.5]
 
 Exit status: 0 on pass, 1 on any failed check, 2 on missing/malformed input
 (one-line actionable message on stderr, no traceback).
@@ -71,9 +87,26 @@ def get(doc, path, filename):
 def entries(doc, filename):
     """Yield (label, entry) for every executor measurement in a report."""
     yield "sequential", get(doc, "sequential", filename)
-    yield "threaded", get(doc, "threaded", filename)
+    named = [name for name in ("threaded", "threaded_channel") if name in doc]
+    if not named:
+        die(f"{filename}: no threaded entry ('threaded' or "
+            f"'threaded_channel') — the report schema changed or the bench "
+            f"was interrupted; regenerate it")
+    for name in named:
+        yield name, doc[name]
     for sweep in doc.get("sweep", []):
-        yield f"sweep[threads={sweep.get('threads', '?')}]", sweep
+        label = (f"sweep[sync={sweep.get('sync', 'barrier')},"
+                 f"threads={sweep.get('threads', '?')}]")
+        yield label, sweep
+
+
+def sync_of(entry):
+    """Sync-protocol tag of an entry; reports predating the channel-clock
+    executor carry no "sync" field and were barrier-threaded (or
+    sequential, tagged "none")."""
+    if "sync" in entry:
+        return entry["sync"]
+    return "none" if entry.get("threads", 0) == 0 else "barrier"
 
 
 def field(entry, label, name, filename):
@@ -102,13 +135,15 @@ def check_pdes(baseline, current, args):
             if got != want:
                 failures.append(f"{label}: {name} {got} != golden {want}")
 
-    # Throughput: compare matching thread counts (runner core counts differ,
-    # so sweep entries absent from either report are skipped, not failed).
-    base_by_threads = {field(e, label, "threads", args.baseline): (label, e)
-                       for label, e in entries(baseline, args.baseline)}
+    # Throughput: compare matching (sync, threads) pairs — like with like;
+    # runner core counts differ, so entries absent from either report are
+    # skipped, not failed.
+    base_by_key = {
+        (sync_of(e), field(e, label, "threads", args.baseline)): (label, e)
+        for label, e in entries(baseline, args.baseline)}
     for label, entry in entries(current, args.current):
-        match = base_by_threads.get(field(entry, label, "threads",
-                                          args.current))
+        match = base_by_key.get(
+            (sync_of(entry), field(entry, label, "threads", args.current)))
         if match is None:
             print(f"check_bench: note: no baseline for {label}, "
                   f"skipping throughput check", file=sys.stderr)
@@ -121,6 +156,47 @@ def check_pdes(baseline, current, args):
                 f"{label}: {cur_eps:.0f} events/s is below {floor:.0f} "
                 f"(baseline {base_eps:.0f} minus "
                 f"{args.tolerance:.0%} tolerance)")
+
+    # Wait accounting: the summed and per-thread-mean wait fields must
+    # agree (mean * threads == sum, within float-formatting slack).
+    for label, entry in entries(current, args.current):
+        if "barrier_wait_mean_s" not in entry:
+            continue
+        threads = field(entry, label, "threads", args.current)
+        wait_sum = field(entry, label, "barrier_wait_s", args.current)
+        mean = entry["barrier_wait_mean_s"]
+        want = wait_sum / threads if threads > 0 else wait_sum
+        if abs(mean - want) > 1e-9 + 1e-6 * abs(wait_sum):
+            failures.append(
+                f"{label}: barrier_wait_mean_s {mean} inconsistent with "
+                f"barrier_wait_s {wait_sum} over {threads} threads")
+
+    # Channel-wait reduction, within the current report only (same machine,
+    # same run): channel sync must cut the summed wait vs the barrier run
+    # at the same thread count. Skipped when the barrier wait is too small
+    # to measure a reduction against, and on oversubscribed hosts (see the
+    # module docstring: there the summed wait measures core starvation).
+    cur = {label: e for label, e in entries(current, args.current)}
+    barrier_top, channel_top = cur.get("threaded"), cur.get("threaded_channel")
+    if (barrier_top is not None and channel_top is not None
+            and barrier_top.get("threads") == channel_top.get("threads")
+            and barrier_top.get("barrier_wait_s", 0) > 1e-3):
+        host_cpus = current.get("config", {}).get("host_cpus", 0)
+        threads = barrier_top.get("threads", 0)
+        if host_cpus < threads:
+            print(f"check_bench: note: host has {host_cpus} cpus for "
+                  f"{threads} threads — summed wait is scheduler-bound, "
+                  f"skipping channel-wait-reduction check", file=sys.stderr)
+        else:
+            barrier_wait = barrier_top["barrier_wait_s"]
+            channel_wait = field(channel_top, "threaded_channel",
+                                 "barrier_wait_s", args.current)
+            ceiling = barrier_wait * (1.0 - args.min_wait_reduction)
+            if channel_wait > ceiling:
+                failures.append(
+                    f"threaded_channel: summed sync wait {channel_wait:.4f}s "
+                    f"exceeds {ceiling:.4f}s ({args.min_wait_reduction:.0%} "
+                    f"reduction gate vs barrier {barrier_wait:.4f}s)")
 
     if failures:
         for failure in failures:
@@ -168,6 +244,11 @@ def main():
     parser.add_argument("--min-improvement", type=float, default=0.15,
                         help="massf.bench_rebalance.v1: minimum modeled-time "
                              "improvement fraction (default 0.15)")
+    parser.add_argument("--min-wait-reduction", type=float, default=0.5,
+                        help="massf.bench_pdes.v2: minimum fractional summed-"
+                             "wait reduction of channel sync vs the barrier "
+                             "run at the same thread count (default 0.5; "
+                             "skipped on oversubscribed hosts)")
     args = parser.parse_args()
 
     current = load_json(

@@ -47,10 +47,14 @@ class WindowProbe {
     // Real wall-clock per phase (seconds).
     double hook_s = 0;     ///< barrier hooks (online injection, failover)
     double process_s = 0;  ///< LP event processing (span, all workers)
-    /// Thread-seconds spent idle at the window barrier, summed over
-    /// workers: num_threads * span - sum(per-worker busy). Zero under the
-    /// sequential executor. This is the real analog of the modeled
-    /// imbalance cost.
+    /// Thread-seconds spent blocked on synchronization, summed over
+    /// workers. Under barrier sync this is the idle formula
+    /// num_threads * span - sum(per-worker busy); under channel sync
+    /// (DESIGN.md section 5g) it is the measured protocol wait: stalls
+    /// with no claimable work plus parks for the next epoch publish.
+    /// Zero under the sequential executor. This is the real analog of
+    /// the modeled imbalance cost; divide by the thread count for a
+    /// per-worker mean comparable against span.
     double barrier_wait_s = 0;
     double merge_s = 0;  ///< outbox delivery + window accounting
   };

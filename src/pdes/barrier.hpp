@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "util/check.hpp"
 
@@ -28,6 +29,25 @@
 #endif
 
 namespace massf {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Busy-wait budget for `parties` synchronizing threads. Spinning only
+/// pays when every party plus the main thread can run at once; a host
+/// reporting fewer cores — or 0, hardware_concurrency()'s "unknown" value
+/// — is treated as oversubscribed and sleeps immediately (spinning there
+/// only delays whichever thread everyone is waiting for).
+inline std::int32_t spin_budget(std::int32_t parties) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) return 0;  // unknown host: assume oversubscribed
+  return hc >= static_cast<unsigned>(parties) + 1 ? 512 : 0;
+}
 
 class SpinBarrier {
  public:
@@ -62,14 +82,6 @@ class SpinBarrier {
   }
 
  private:
-  static void cpu_relax() {
-#if defined(__x86_64__) || defined(__i386__)
-    _mm_pause();
-#elif defined(__aarch64__)
-    asm volatile("yield");
-#endif
-  }
-
   const std::int32_t parties_;
   const std::int32_t spin_;
   std::atomic<std::int32_t> remaining_;

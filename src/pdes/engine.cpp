@@ -84,7 +84,19 @@ void Engine::schedule(LpId lp, SimTime time, std::int32_t type,
   // in `time` must push the event past the current window, otherwise the
   // partition's lookahead (MLL) was computed wrong.
   MASSF_CHECK(time >= window_end_);
+  // A declared topology is a promise the merge order relies on: sends may
+  // only travel declared channels (channel_sync.hpp).
+  MASSF_CHECK(channels_.allows(cur, lp));
   lps_[static_cast<std::size_t>(cur)].outbox.add(ev);
+}
+
+void Engine::set_channels(ChannelGraph graph) {
+  MASSF_CHECK(!running_);
+  graph.finalize(num_lps());
+  // A channel faster than the window width would let a send land inside
+  // the window it was sent from — the lookahead (MLL) contract.
+  MASSF_CHECK(graph.min_lookahead() >= opts_.lookahead);
+  channels_ = std::move(graph);
 }
 
 SimTime Engine::next_event_floor() const {
@@ -95,16 +107,34 @@ SimTime Engine::next_event_floor() const {
   return floor;
 }
 
-void Engine::merge_lp_inbox(LpId dst_id) {
+void Engine::merge_lp_inbox(LpId dst_id, std::uint64_t* nulls) {
   Lp& dst = lps_[static_cast<std::size_t>(dst_id)];
   dst.premerge_depth = dst.queue.size();
-  for (const Lp& src : lps_) {
+  const auto drain = [&](const Lp& src) {
     const std::vector<Event>* bucket = src.outbox.find(dst_id);
-    if (bucket == nullptr) continue;
+    if (bucket == nullptr) {
+      // Channel advanced with no traffic this window — the null-message
+      // analog, tallied by the channel executor.
+      if (nulls != nullptr) ++*nulls;
+      return;
+    }
     for (const Event& ev : *bucket) {
       Event copy = ev;
       copy.seq = dst.next_seq++;
       dst.queue.push(copy);
+    }
+  };
+  if (channels_.empty()) {
+    for (const Lp& src : lps_) {
+      if (&src == &dst) continue;  // same-LP sends never cross a channel
+      drain(src);
+    }
+  } else {
+    // In-neighbors are sorted by LP id, so the drain order — and the seqs
+    // assigned — match the all-pairs walk exactly: schedule() guarantees
+    // no other source could have sent to dst.
+    for (const LpId s : channels_.in_neighbors(dst_id)) {
+      drain(lps_[static_cast<std::size_t>(s)]);
     }
   }
 }
@@ -239,12 +269,25 @@ void Engine::publish_run_metrics() {
   r.counter("pdes.sched.cross_events").inc(stats_.cross_lp_events);
   r.counter("pdes.sched.merge_batches").inc(stats_.merge_batches);
   r.gauge("pdes.sched.threads").set(static_cast<double>(run_threads_));
+  // Synchronization protocol aggregates (schema massf.metrics.v1,
+  // DESIGN.md section 5g). Wait gauges are zero unless a probe timed them.
+  r.gauge("pdes.sync.mode")
+      .set(sync_stats_.mode == SyncMode::kChannel ? 1.0 : 0.0);
+  r.gauge("pdes.sync.channels").set(static_cast<double>(sync_stats_.channels));
+  r.counter("pdes.sync.null_events").inc(sync_stats_.null_events);
+  r.counter("pdes.sync.stalls").inc(sync_stats_.stalls);
+  r.counter("pdes.sync.quiescence_epochs")
+      .inc(sync_stats_.quiescence_epochs);
+  r.gauge("pdes.sync.channel_wait_s").add(sync_stats_.channel_wait_s);
+  r.gauge("pdes.sync.epoch_wait_s").add(sync_stats_.epoch_wait_s);
 }
 
 void Engine::begin_run() {
   MASSF_CHECK(!running_);
   running_ = true;
   stop_requested_.store(false, std::memory_order_relaxed);
+  sync_stats_ = SyncStats{};
+  sync_stats_.channels = channels_.size();
   if (restored_) {
     // Resuming from a checkpoint: stats_ already holds the tallies the
     // interrupted run accumulated up to the boundary (restore_state). The
@@ -434,6 +477,10 @@ void Engine::finish_run(SimTime floor) {
 RunStats Engine::run() {
   begin_run();
   run_threads_ = 0;
+  return run_window_loop();
+}
+
+RunStats Engine::run_window_loop() {
   const LpId n = static_cast<LpId>(lps_.size());
   SimTime floor = next_event_floor();
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {

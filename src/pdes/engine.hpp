@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "pdes/channel_sync.hpp"
 #include "pdes/event.hpp"
 #include "pdes/sched.hpp"
 #include "util/stats.hpp"
@@ -108,6 +109,10 @@ struct EngineOptions {
   /// When > 0, per-LP event counts are recorded into virtual-time bins of
   /// this width (for load-variation traces, paper Figure 3).
   SimTime load_bin = 0;
+  /// Synchronization protocol for run_threaded (run() is unaffected; both
+  /// protocols produce the bit-identical trace). Defaults to channel
+  /// clocks; MASSF_SYNC=barrier flips the process default.
+  SyncMode sync = default_sync_mode();
 };
 
 struct RunStats {
@@ -182,14 +187,29 @@ class Engine {
 
   /// Runs the same protocol with the per-window LP processing and outbox
   /// merge distributed over `num_threads` threads (the calling thread
-  /// counts as one). LPs are claimed dynamically off a shared atomic index,
-  /// so a window's span is bounded by its slowest single LP rather than by
-  /// a static LP bucket. Produces bit-identical simulation results to
-  /// run(): within a window each LP is processed serially by exactly one
-  /// thread, and the barrier merge assigns arrival seqs in an order
-  /// independent of thread scheduling (DESIGN.md section 5d). Modeled-time
-  /// statistics are identical as well — only real wall clock differs.
+  /// counts as one). LPs are claimed dynamically, so a window's span is
+  /// bounded by its slowest single LP rather than by a static LP bucket.
+  /// Produces bit-identical simulation results to run(): within a window
+  /// each LP is processed serially by exactly one thread, and the merge
+  /// assigns arrival seqs in an order independent of thread scheduling
+  /// (DESIGN.md sections 5d and 5g). Modeled-time statistics are identical
+  /// as well — only real wall clock differs. The synchronization protocol
+  /// is selected by EngineOptions::sync: global barriers (threaded.cpp) or
+  /// per-channel clocks with quiescence epochs (channel_sync.cpp).
+  /// num_threads == 1 short-circuits to the sequential window loop — one
+  /// thread has nothing to synchronize with.
   RunStats run_threaded(std::int32_t num_threads);
+
+  /// Declares the cross-LP communication topology the channel-clock
+  /// executor synchronizes over, replacing the all-pairs default. Every
+  /// channel lookahead must be >= options().lookahead and ids must name
+  /// registered LPs. Once declared, schedule() enforces the topology under
+  /// every executor: a cross-LP send along an undeclared channel aborts.
+  void set_channels(ChannelGraph graph);
+  const ChannelGraph& channels() const { return channels_; }
+
+  /// Synchronization aggregates of the last run (pdes.sync.* schema).
+  const SyncStats& sync_stats() const { return sync_stats_; }
 
   /// Requests a clean stop at the next window boundary. Callable from
   /// handlers (including ones running on run_threaded workers) and, in
@@ -307,8 +327,11 @@ class Engine {
   /// Delivers every source's buffered sends for destination `dst`,
   /// assigning arrival seqs in (src id, send order) — the deterministic
   /// merge order. Touches only `dst`'s queue/seq (sources are read-only),
-  /// so distinct destinations can merge concurrently.
-  void merge_lp_inbox(LpId dst);
+  /// so distinct destinations can merge concurrently. When a channel graph
+  /// is declared only the in-neighbors are drained (same order — schedule()
+  /// guarantees nobody else sent) and empty channels are tallied as null
+  /// advances into `nulls` when non-null.
+  void merge_lp_inbox(LpId dst, std::uint64_t* nulls = nullptr);
   /// Empties all outboxes after a merge and folds their sizes into the
   /// sched counters. Coordinator-only.
   void clear_outboxes();
@@ -346,6 +369,10 @@ class Engine {
   std::int32_t run_threads_ = 0;
   RunStats stats_;
   EngineHooks hooks_;
+  /// Declared cross-LP topology (empty = all-pairs). Finalized.
+  ChannelGraph channels_;
+  /// Sync aggregates of the current/last run (reset by begin_run).
+  SyncStats sync_stats_;
   obs::WindowProbe* probe_ = nullptr;
   obs::Registry* registry_ = nullptr;
   std::uint64_t last_ckpt_window_ = 0;
@@ -359,6 +386,12 @@ class Engine {
 
   void begin_run();
   void finish_run(SimTime floor);
+  /// The sequential window loop shared by run() and the single-thread
+  /// run_threaded short-circuit (begin_run/run_threads_ already done).
+  RunStats run_window_loop();
+  /// The channel-clock executor (channel_sync.cpp). Requires
+  /// num_threads >= 2; run_threaded dispatches here for SyncMode::kChannel.
+  RunStats run_threaded_channel(std::int32_t num_threads);
 
   // Handler context for worker threads; each LP is owned by exactly one
   // thread within a window, so all queue/outbox mutations stay LP-local.

@@ -74,6 +74,10 @@ struct ScenarioOptions {
   /// 0 = sequential reference executor; > 0 = threaded executor with that
   /// many workers (identical simulation results, different wall clock).
   std::int32_t executor_threads = 0;
+  /// Threaded synchronization protocol (ignored when executor_threads <=
+  /// 1): global barriers or per-channel clocks (DESIGN.md section 5g).
+  /// Either way the simulation results are bit-identical to sequential.
+  SyncMode sync = default_sync_mode();
   SimTime end_time = seconds(10);
   SimTime profile_end_time = seconds(3);
   /// Virtual-time bin for per-engine load traces (0 = off).

@@ -20,6 +20,7 @@ DmlNode scenario_options_to_dml(const ScenarioOptions& o) {
   e.add_atom("file_mean_bytes", o.http.file_mean_bytes);
   e.add_atom("executor_threads",
              static_cast<std::int64_t>(o.executor_threads));
+  e.add_atom("sync", std::string(sync_mode_name(o.sync)));
   e.add_atom("seed", static_cast<std::int64_t>(o.seed));
   return root;
 }
@@ -76,6 +77,15 @@ std::optional<ScenarioOptions> scenario_options_from_dml(
       e->get_double("file_mean_bytes", o.http.file_mean_bytes);
   o.executor_threads = static_cast<std::int32_t>(
       e->get_int("executor_threads", o.executor_threads));
+  const std::string sync = e->get_string("sync", sync_mode_name(o.sync));
+  if (sync == "barrier") {
+    o.sync = SyncMode::kBarrier;
+  } else if (sync == "channel") {
+    o.sync = SyncMode::kChannel;
+  } else {
+    if (error) *error = "unknown sync '" + sync + "' (barrier|channel)";
+    return std::nullopt;
+  }
   o.seed = static_cast<std::uint64_t>(e->get_int("seed", 42));
 
   if (o.num_routers < 2 || o.num_hosts < 1 || o.num_engines < 1) {

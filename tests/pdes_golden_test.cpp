@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "pdes/engine.hpp"
@@ -60,7 +62,8 @@ class RingLp final : public LogicalProcess {
   std::int64_t chain_;
 };
 
-std::uint64_t run_bench_workload(std::int32_t threads, RunStats* out_stats) {
+std::uint64_t run_bench_workload(std::int32_t threads, RunStats* out_stats,
+                                 SyncMode sync = SyncMode::kBarrier) {
   constexpr std::int64_t kLps = 32;
   constexpr std::int64_t kChain = 64;
   constexpr std::uint64_t kHops = 2000;
@@ -68,6 +71,7 @@ std::uint64_t run_bench_workload(std::int32_t threads, RunStats* out_stats) {
   EngineOptions o;
   o.lookahead = milliseconds(1);
   o.end_time = seconds(3600);
+  o.sync = sync;
   Engine engine(o);
   std::vector<RingLp*> lps;
   for (std::int64_t i = 0; i < kLps; ++i) {
@@ -93,17 +97,30 @@ TEST(PdesGoldenTrace, SequentialMatchesPinnedChecksum) {
   EXPECT_EQ(stats.num_windows, kGoldenWindows);
 }
 
-class PdesGoldenTraceThreaded : public ::testing::TestWithParam<int> {};
+// Both threaded synchronization protocols must keep the pinned trace at
+// every thread count (the channel-clock executor's whole claim is that it
+// changes who waits on whom, not what happens — DESIGN.md section 5g).
+class PdesGoldenTraceThreaded
+    : public ::testing::TestWithParam<std::tuple<int, SyncMode>> {};
 
 TEST_P(PdesGoldenTraceThreaded, MatchesPinnedChecksum) {
   RunStats stats;
-  EXPECT_EQ(run_bench_workload(GetParam(), &stats), kGoldenChecksum);
+  EXPECT_EQ(run_bench_workload(std::get<0>(GetParam()), &stats,
+                               std::get<1>(GetParam())),
+            kGoldenChecksum);
   EXPECT_EQ(stats.total_events, kGoldenEvents);
   EXPECT_EQ(stats.num_windows, kGoldenWindows);
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, PdesGoldenTraceThreaded,
-                         ::testing::Values(1, 2, 4));
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsBySync, PdesGoldenTraceThreaded,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(SyncMode::kBarrier,
+                                         SyncMode::kChannel)),
+    [](const ::testing::TestParamInfo<std::tuple<int, SyncMode>>& info) {
+      return sync_mode_name(std::get<1>(info.param)) + std::string("_t") +
+             std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace massf

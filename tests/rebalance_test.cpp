@@ -59,15 +59,19 @@ void expect_same_stats(const RunStats& a, const RunStats& b) {
   }
 }
 
-/// The worker-count gauge is the one legitimate metrics difference between
-/// executors (see bench/bench_rebalance.cpp).
+/// The worker-count gauge and the pdes.sync.* protocol counters describe
+/// the executor (which sync protocol ran and what it did), not the
+/// simulation — the legitimate metrics differences between executors (see
+/// bench/bench_rebalance.cpp).
 std::string strip_executor_identity(std::string json) {
-  const std::string key = "\"pdes.sched.threads\":";
-  const auto pos = json.find(key);
-  if (pos == std::string::npos) return json;
-  auto end = json.find_first_of(",}\n", pos + key.size());
-  if (end == std::string::npos) end = json.size();
-  json.erase(pos, end - pos);
+  for (const char* key : {"\"pdes.sched.threads\":", "\"pdes.sync."}) {
+    for (auto pos = json.find(key); pos != std::string::npos;
+         pos = json.find(key, pos)) {
+      auto end = json.find_first_of(",}\n", pos + std::strlen(key));
+      if (end == std::string::npos) end = json.size();
+      json.erase(pos, end - pos);
+    }
+  }
   return json;
 }
 
