@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "guard/watchdog.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
@@ -112,16 +113,26 @@ struct Measurement {
   double merge_s = 0;
   std::uint64_t null_events = 0;        ///< channel runs only
   std::uint64_t quiescence_epochs = 0;  ///< channel runs only
+  bool guard = false;                   ///< run under an armed watchdog
 };
 
 Measurement measure(const Workload& w, std::int32_t threads, int repeats,
-                    SyncMode sync = SyncMode::kBarrier) {
+                    SyncMode sync = SyncMode::kBarrier,
+                    bool guarded = false) {
   Measurement best;
   for (int rep = 0; rep < repeats; ++rep) {
     EngineOptions o;
     o.lookahead = milliseconds(1);
     o.end_time = seconds(3600);
     o.sync = sync;
+    if (guarded) {
+      // Supervised row (DESIGN.md section 5h): liveness telemetry on and
+      // the watchdog armed, with a deadline the healthy run never hits —
+      // the row measures what supervision costs, not what it does.
+      o.guard.enabled = true;
+      o.guard.stall_deadline_s = 300.0;
+      o.guard.poll_interval_s = 0.05;
+    }
     Engine engine(o);
     std::vector<RingLp*> lps;
     for (std::int64_t i = 0; i < w.lps; ++i) {
@@ -147,17 +158,21 @@ Measurement measure(const Workload& w, std::int32_t threads, int repeats,
     obs::WindowProbe probe;
     engine.set_probe(&probe);
 
+    guard::Watchdog watchdog(engine, o.guard);
+    if (guarded) watchdog.arm();
     const auto t0 = std::chrono::steady_clock::now();
     const RunStats stats =
         threads > 0 ? engine.run_threaded(threads) : engine.run();
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    watchdog.disarm();
 
     Measurement m;
     m.stats = stats;
     m.threads = threads;
     m.sync = threads > 0 ? sync_mode_name(sync) : "none";
+    m.guard = guarded;
     m.wall_s = wall_s;
     m.events_per_sec =
         wall_s > 0 ? static_cast<double>(stats.total_events) / wall_s : 0;
@@ -184,6 +199,7 @@ std::string measurement_json(const Measurement& m, const char* indent) {
   std::string out = "{\n";
   out += in + "  \"threads\": " + std::to_string(m.threads) + ",\n";
   out += in + "  \"sync\": \"" + std::string(m.sync) + "\",\n";
+  if (m.guard) out += in + "  \"guard\": true,\n";
   out += in + "  \"events\": " + std::to_string(m.stats.total_events) + ",\n";
   out += in + "  \"windows\": " + std::to_string(m.stats.num_windows) + ",\n";
   out += in + "  \"wall_s\": " + format_double(m.wall_s) + ",\n";
@@ -283,6 +299,27 @@ int main(int argc, char** argv) {
            seq.stats.total_events == m.stats.total_events;
   };
 
+  // The supervision-cost row: same sequential reference with telemetry on
+  // and the watchdog armed. check_bench.py gates the overhead.
+  const Measurement seq_guard = measure(w, /*threads=*/0, repeats,
+                                        SyncMode::kBarrier, /*guarded=*/true);
+  std::fprintf(stderr,
+               "[bench_pdes] sequential+guard: %.0f events/s "
+               "(%.1f%% overhead vs unguarded)\n",
+               seq_guard.events_per_sec,
+               seq.events_per_sec > 0
+                   ? (1.0 - seq_guard.events_per_sec / seq.events_per_sec) *
+                         100.0
+                   : 0.0);
+  if (!agrees(seq_guard)) {
+    std::fprintf(stderr,
+                 "[bench_pdes] ERROR: guarded run perturbed the trace "
+                 "(checksum %llu vs %llu)\n",
+                 static_cast<unsigned long long>(seq.checksum),
+                 static_cast<unsigned long long>(seq_guard.checksum));
+    return 1;
+  }
+
   std::vector<Measurement> sweep_runs;
   Measurement thr_barrier;
   Measurement thr_channel;
@@ -343,6 +380,7 @@ int main(int argc, char** argv) {
           ", \"host_cpus\": " +
           std::to_string(std::thread::hardware_concurrency()) + "},\n";
   json += executor_json("sequential", seq) + ",\n";
+  json += executor_json("sequential_guard", seq_guard) + ",\n";
   if (have_barrier) json += executor_json("threaded", thr_barrier) + ",\n";
   if (have_channel) {
     json += executor_json("threaded_channel", thr_channel) + ",\n";

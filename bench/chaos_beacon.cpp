@@ -12,16 +12,27 @@
 // Also reports what the fault metrics are for: per-event OSPF and BGP
 // reconvergence times.
 //
-//   chaos_beacon [--smoke]   # --smoke: reduced scale for the test tier
+// Supervised mode (--guard): the threaded leg runs under the liveness
+// watchdog and the GuardedRun recovery ladder (DESIGN.md section 5h).
+// With --inject-stall one LP's channel clock is frozen mid-run, the
+// watchdog cancels the wedged attempt (writing the massf.guard.v1 dump),
+// and the ladder's barrier fallback reruns clean — the recovered result
+// must STILL be bit-identical to the sequential reference.
+//
+//   chaos_beacon [--smoke] [--guard] [--inject-stall]
+//                [--guard-deadline S] [--guard-dump PATH]
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "fault/injector.hpp"
+#include "guard/guarded_run.hpp"
+#include "guard/watchdog.hpp"
 #include "net/netsim.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -47,6 +58,16 @@ struct RunResult {
   std::string metrics_json;
   std::vector<double> ospf_reconverge_s;
   std::vector<FaultInjector::BgpReconvergence> bgp_reconverge;
+  bool cancelled = false;  ///< the watchdog cancelled this run (guard mode)
+};
+
+/// Supervision config for one guarded attempt (nullptr = plain run).
+struct GuardConfig {
+  SyncMode sync = SyncMode::kChannel;
+  std::int32_t threads = 0;
+  guard::GuardOptions options;
+  bool inject_stall = false;
+  obs::Registry* registry = nullptr;
 };
 
 /// First intra-AS router-router link of `as` (for the flap/loss targets).
@@ -63,7 +84,8 @@ LinkId intra_as_link(const Network& net, AsId as, LinkId not_this = -1) {
   std::exit(1);
 }
 
-RunResult run_once(const Scale& scale, bool threaded) {
+RunResult run_once(const Scale& scale, bool threaded,
+                   const GuardConfig* guarded = nullptr) {
   MaBriteOptions mo;
   mo.num_as = scale.num_as;
   mo.routers_per_as = scale.routers_per_as;
@@ -99,6 +121,10 @@ RunResult run_once(const Scale& scale, bool threaded) {
   EngineOptions eo;
   eo.lookahead = lookahead;
   eo.end_time = scale.end;
+  if (guarded != nullptr) {
+    eo.sync = guarded->sync;
+    eo.guard = guarded->options;
+  }
   Engine engine(eo);
   NetSim sim(net, fp, map, engine, NetSimOptions{});
   TrafficManager manager(sim);
@@ -156,7 +182,22 @@ RunResult run_once(const Scale& scale, bool threaded) {
 
   manager.start(engine, sim);
   RunResult r;
-  r.stats = threaded ? engine.run_threaded(scale.threads) : engine.run();
+  if (guarded != nullptr) {
+    // Stall injection only exists on the channel-clock protocol; the
+    // barrier rungs of the recovery ladder run clean by construction.
+    if (guarded->inject_stall && guarded->sync == SyncMode::kChannel) {
+      engine.test_freeze_lp_clock(scale.lps - 1, /*after_windows=*/100);
+    }
+    guard::Watchdog watchdog(engine, guarded->options, guarded->registry);
+    watchdog.arm();
+    r.stats = guarded->threads > 0 ? engine.run_threaded(guarded->threads)
+                                   : engine.run();
+    watchdog.disarm();
+    r.cancelled = engine.run_cancelled();
+    if (r.cancelled) return r;  // partial state: skip the metrics publish
+  } else {
+    r.stats = threaded ? engine.run_threaded(scale.threads) : engine.run();
+  }
 
   obs::Registry registry;
   sim.publish_metrics(registry);
@@ -181,6 +222,10 @@ bool same_stats(const RunStats& a, const RunStats& b) {
 int main(int argc, char** argv) {
   using namespace massf;
   Scale scale;
+  bool guard_mode = false;
+  bool inject_stall = false;
+  double guard_deadline_s = 5.0;
+  std::string guard_dump = "guard_stall.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       scale.num_as = 6;
@@ -189,17 +234,92 @@ int main(int argc, char** argv) {
       scale.lps = 2;
       scale.threads = 2;
       scale.end = seconds(30);
+    } else if (std::strcmp(argv[i], "--guard") == 0) {
+      guard_mode = true;
+    } else if (std::strcmp(argv[i], "--inject-stall") == 0) {
+      inject_stall = true;
+    } else if (std::strcmp(argv[i], "--guard-deadline") == 0 &&
+               i + 1 < argc) {
+      guard_deadline_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--guard-dump") == 0 && i + 1 < argc) {
+      guard_dump = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--guard] [--inject-stall] "
+                   "[--guard-deadline S] [--guard-dump PATH]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (inject_stall && !guard_mode) {
+    std::fprintf(stderr, "--inject-stall requires --guard\n");
+    return 2;
   }
 
   std::fprintf(stderr, "[chaos_beacon] sequential run...\n");
   const RunResult seq = run_once(scale, /*threaded=*/false);
-  std::fprintf(stderr, "[chaos_beacon] threaded run (%d threads)...\n",
-               scale.threads);
-  const RunResult thr = run_once(scale, /*threaded=*/true);
+
+  RunResult thr;
+  if (guard_mode) {
+    // Threaded leg under supervision: watchdog + recovery ladder. Each
+    // attempt rebuilds the whole stack from scratch, so a recovered run is
+    // a deterministic replay — it must match the sequential reference just
+    // like an unsupervised threaded run does.
+    std::fprintf(stderr,
+                 "[chaos_beacon] guarded threaded run (%d threads, "
+                 "deadline=%.1fs%s)...\n",
+                 scale.threads, guard_deadline_s,
+                 inject_stall ? ", stall injected" : "");
+    obs::Registry guard_registry;
+    guard::GuardedRun::Options gopts;
+    gopts.max_retries = 0;  // a frozen clock repeats; go straight to rung 1
+    guard::GuardedRun runner(gopts, &guard_registry);
+    bool have_result = false;
+    const guard::GuardedRunReport report = runner.run(
+        SyncMode::kChannel, scale.threads,
+        [&](const guard::AttemptPlan& plan) -> guard::AttemptOutcome {
+          GuardConfig gc;
+          gc.sync = plan.sync;
+          gc.threads = plan.threads;
+          gc.options.enabled = true;
+          gc.options.stall_deadline_s = guard_deadline_s;
+          gc.options.dump_path = guard_dump;
+          gc.options.on_stall = guard::OnStall::kCancel;
+          gc.inject_stall = inject_stall;
+          gc.registry = &guard_registry;
+          const RunResult r = run_once(scale, plan.threads > 0, &gc);
+          if (r.cancelled) {
+            return {guard::AttemptStatus::kStalled,
+                    "watchdog cancelled the run"};
+          }
+          thr = r;
+          have_result = true;
+          return {};
+        });
+    if (!report.completed || !have_result) {
+      std::fprintf(stderr, "FAIL: guarded run never completed: %s\n",
+                   report.last_error.c_str());
+      return 1;
+    }
+    std::printf(
+        "guard: completed after %d attempt(s) (stalls=%llu errors=%llu "
+        "rung=%d stalls_detected=%llu dumps=%llu)\n",
+        report.attempts, static_cast<unsigned long long>(report.stalls),
+        static_cast<unsigned long long>(report.errors), report.degraded_rung,
+        static_cast<unsigned long long>(
+            guard_registry.counter("guard.stalls_detected").value()),
+        static_cast<unsigned long long>(
+            guard_registry.counter("guard.dump_writes").value()));
+    if (inject_stall && report.stalls == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --inject-stall but no attempt ever stalled\n");
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "[chaos_beacon] threaded run (%d threads)...\n",
+                 scale.threads);
+    thr = run_once(scale, /*threaded=*/true);
+  }
 
   std::printf("events=%llu windows=%llu end_vtime_s=%.3f\n",
               static_cast<unsigned long long>(seq.stats.total_events),

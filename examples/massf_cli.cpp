@@ -24,15 +24,32 @@
 // Online rebalancing (DESIGN.md section 5f): --rebalance enables the LP
 // migration controller; --rebalance-threshold / --rebalance-every /
 // --rebalance-sustain / --rebalance-max-moves tune it.
+//
+// Supervised runs (DESIGN.md section 5h): --guard arms a liveness watchdog
+// over every measured run; on a no-progress deadline it dumps a stall
+// diagnostic (--guard-dump) and, under --guard-policy=recover, cancels the
+// run and retries down the degradation ladder — restoring the latest
+// checkpoint when --ckpt-every/--ckpt-path are armed.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "fault/injector.hpp"
+#include "guard/guarded_run.hpp"
+#include "obs/metrics.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario.hpp"
 #include "sim/scenario_config.hpp"
+#include "util/error.hpp"
 #include "util/flags.hpp"
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace massf;
@@ -76,6 +93,27 @@ int main(int argc, char** argv) {
                 "max routers migrated per trigger",
                 [](std::int64_t v) {
                   return v >= 1 ? "" : "must be >= 1";
+                });
+  flags.add_bool("guard", guard::default_guard_options().enabled,
+                 "arm the liveness watchdog over every run (MASSF_GUARD=1 "
+                 "flips this default)");
+  flags.add_double("guard-deadline",
+                   guard::default_guard_options().stall_deadline_s,
+                   "seconds without progress before declaring a stall",
+                   [](double v) { return v > 0 ? "" : "must be > 0"; });
+  flags.add_string("guard-dump", "guard_stall.json",
+                   "stall diagnostic JSON file (empty = stderr only)");
+  flags.add_string("guard-policy", "recover",
+                   "on stall: 'recover' (cancel + retry ladder) or 'abort'",
+                   [](const std::string& v) {
+                     return v == "recover" || v == "abort"
+                                ? ""
+                                : "must be 'recover' or 'abort'";
+                   });
+  flags.add_int("guard-retries", 1,
+                "same-configuration retries before degrading",
+                [](std::int64_t v) {
+                  return v >= 0 ? "" : "must be >= 0";
                 });
   flags.parse_or_exit(argc, argv);
 
@@ -158,6 +196,14 @@ int main(int argc, char** argv) {
   }
   opts.ckpt = ckpt;
 
+  const bool guarded = flags.get_bool("guard");
+  opts.guard.enabled = guarded;
+  opts.guard.stall_deadline_s = flags.get_double("guard-deadline");
+  opts.guard.dump_path = flags.get_string("guard-dump");
+  opts.guard.on_stall = flags.get_string("guard-policy") == "abort"
+                            ? guard::OnStall::kAbort
+                            : guard::OnStall::kCancel;
+
   opts.rebalance.enabled = flags.get_bool("rebalance");
   opts.rebalance.threshold = flags.get_double("rebalance-threshold");
   opts.rebalance.every_windows =
@@ -207,10 +253,65 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Recovery metrics (guard.* schema): the GuardedRun wrapper and the
+  // watchdog both record into this registry.
+  obs::Registry guard_registry;
+
   std::printf("%-7s %10s %9s %9s %8s %12s\n", "mapping", "T(sec)", "MLL(ms)",
               "imbal", "PE", "events");
   for (const MappingKind kind : kinds) {
-    const ExperimentResult r = scenario.run(kind);
+    ExperimentResult r;
+    if (guarded && opts.guard.on_stall == guard::OnStall::kCancel) {
+      // Supervised execution: each attempt re-runs the scenario under the
+      // plan's configuration, resuming from the newest checkpoint once one
+      // exists. Recovery replays bit-identical state, so a recovered run
+      // reports the same results as an uninterrupted one.
+      bool have_result = false;
+      guard::GuardedRun::Options gro;
+      gro.max_retries =
+          static_cast<int>(flags.get_int("guard-retries"));
+      guard::GuardedRun runner(gro, &guard_registry);
+      const auto report = runner.run(
+          opts.sync, opts.executor_threads,
+          [&](const guard::AttemptPlan& plan) -> guard::AttemptOutcome {
+            scenario.set_sync(plan.sync);
+            scenario.set_executor_threads(plan.threads);
+            CkptOptions attempt_ckpt = ckpt;
+            if (plan.restore && !attempt_ckpt.path.empty() &&
+                file_exists(attempt_ckpt.path)) {
+              attempt_ckpt.restore_path = attempt_ckpt.path;
+            }
+            scenario.set_ckpt(attempt_ckpt);
+            try {
+              r = scenario.run(kind);
+            } catch (const EngineError& e) {
+              if (e.category() == ErrorCategory::kInternal) throw;
+              return {guard::AttemptStatus::kFailed, e.what()};
+            }
+            if (scenario.last_run_cancelled()) {
+              return {guard::AttemptStatus::kStalled,
+                      "watchdog cancelled the run"};
+            }
+            have_result = true;
+            return {guard::AttemptStatus::kCompleted, ""};
+          });
+      if (!have_result) {
+        std::fprintf(stderr, "guarded run failed permanently: %s\n",
+                     report.last_error.c_str());
+        return 1;
+      }
+      if (report.attempts > 1) {
+        std::printf(
+            "        guard: recovered after %d attempts "
+            "(stalls=%llu errors=%llu rung=%d)\n",
+            report.attempts,
+            static_cast<unsigned long long>(report.stalls),
+            static_cast<unsigned long long>(report.errors),
+            report.degraded_rung);
+      }
+    } else {
+      r = scenario.run(kind);
+    }
     std::printf("%-7s %10.3f %9.3f %9.3f %8.3f %12llu\n",
                 mapping_kind_name(kind), r.metrics.simulation_time_s,
                 to_milliseconds(r.mapping.achieved_mll),

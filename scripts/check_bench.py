@@ -29,6 +29,12 @@ Schemas understood (dispatched on the current report's "schema" field):
       scheduler for *any* protocol, so the comparison would measure core
       starvation, not synchronization. (Channel sync still shows up there
       as lower wall_s / higher events/s, which the throughput check gates.)
+    * Supervision overhead (self-contained): when the current report
+      carries a "sequential_guard" entry (armed liveness watchdog, DESIGN.md
+      section 5h), its events/s must stay within --max-guard-overhead
+      (default 0.10) of the unguarded sequential row from the same run.
+      Guarded entries carry "guard": true and are matched against their own
+      baselines in the throughput check, never against unguarded rows.
 
   massf.bench_rebalance.v1 — self-contained gate on a
   `bench_rebalance --json` run (no baseline file needed):
@@ -87,6 +93,8 @@ def get(doc, path, filename):
 def entries(doc, filename):
     """Yield (label, entry) for every executor measurement in a report."""
     yield "sequential", get(doc, "sequential", filename)
+    if "sequential_guard" in doc:
+        yield "sequential_guard", doc["sequential_guard"]
     named = [name for name in ("threaded", "threaded_channel") if name in doc]
     if not named:
         die(f"{filename}: no threaded entry ('threaded' or "
@@ -135,15 +143,18 @@ def check_pdes(baseline, current, args):
             if got != want:
                 failures.append(f"{label}: {name} {got} != golden {want}")
 
-    # Throughput: compare matching (sync, threads) pairs — like with like;
-    # runner core counts differ, so entries absent from either report are
-    # skipped, not failed.
+    # Throughput: compare matching (sync, threads, guard) triples — like
+    # with like; runner core counts differ, so entries absent from either
+    # report are skipped, not failed. The guard flag is part of the key so
+    # the supervised row never gates (or hides behind) the unguarded one.
     base_by_key = {
-        (sync_of(e), field(e, label, "threads", args.baseline)): (label, e)
+        (sync_of(e), field(e, label, "threads", args.baseline),
+         bool(e.get("guard", False))): (label, e)
         for label, e in entries(baseline, args.baseline)}
     for label, entry in entries(current, args.current):
         match = base_by_key.get(
-            (sync_of(entry), field(entry, label, "threads", args.current)))
+            (sync_of(entry), field(entry, label, "threads", args.current),
+             bool(entry.get("guard", False))))
         if match is None:
             print(f"check_bench: note: no baseline for {label}, "
                   f"skipping throughput check", file=sys.stderr)
@@ -198,6 +209,24 @@ def check_pdes(baseline, current, args):
                     f"exceeds {ceiling:.4f}s ({args.min_wait_reduction:.0%} "
                     f"reduction gate vs barrier {barrier_wait:.4f}s)")
 
+    # Supervision overhead, within the current report only (same machine,
+    # same run): the armed-watchdog sequential row must stay within
+    # --max-guard-overhead of the unguarded sequential row. The watchdog
+    # only reads atomics on a sleepy cadence, so the true cost is ~0; the
+    # gate's slack absorbs run-to-run noise, not a real cost.
+    guard_top = cur.get("sequential_guard")
+    if guard_top is not None:
+        seq_eps = field(cur["sequential"], "sequential", "events_per_sec",
+                        args.current)
+        guard_eps = field(guard_top, "sequential_guard", "events_per_sec",
+                          args.current)
+        floor = seq_eps * (1.0 - args.max_guard_overhead)
+        if guard_eps < floor:
+            failures.append(
+                f"sequential_guard: {guard_eps:.0f} events/s is below "
+                f"{floor:.0f} (unguarded {seq_eps:.0f} minus "
+                f"{args.max_guard_overhead:.0%} supervision-overhead gate)")
+
     if failures:
         for failure in failures:
             print(f"check_bench: FAIL: {failure}", file=sys.stderr)
@@ -249,6 +278,11 @@ def main():
                              "wait reduction of channel sync vs the barrier "
                              "run at the same thread count (default 0.5; "
                              "skipped on oversubscribed hosts)")
+    parser.add_argument("--max-guard-overhead", type=float, default=0.10,
+                        help="massf.bench_pdes.v2: max fractional events/s "
+                             "cost of the armed-watchdog sequential_guard "
+                             "row vs the unguarded sequential row in the "
+                             "same report (default 0.10)")
     args = parser.parse_args()
 
     current = load_json(

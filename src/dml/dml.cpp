@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace massf {
 namespace {
@@ -127,9 +128,13 @@ bool parse_list(Lexer& lex, DmlNode& node, bool top_level,
 }
 
 [[noreturn]] void config_error(std::string_view key, const char* what) {
-  std::fprintf(stderr, "DML configuration error: attribute '%.*s' %s\n",
-               static_cast<int>(key.size()), key.data(), what);
-  std::abort();
+  // Thrown rather than aborted: a bad attribute in a scenario file is a
+  // user input error the CLI / guard harness reports and survives.
+  std::string msg = "DML attribute '";
+  msg.append(key.data(), key.size());
+  msg += "' ";
+  msg += what;
+  MASSF_THROW(ErrorCategory::kConfig, msg);
 }
 
 void write_node(const DmlNode& node, std::ostringstream& os, int depth) {

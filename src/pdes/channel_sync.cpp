@@ -41,10 +41,14 @@
 #include <thread>
 #include <vector>
 
+#include <mutex>
+#include <string>
+
 #include "obs/probe.hpp"
 #include "pdes/barrier.hpp"
 #include "pdes/engine.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace massf {
 
@@ -64,9 +68,14 @@ const char* sync_mode_name(SyncMode mode) {
 }
 
 void ChannelGraph::add(LpId src, LpId dst, SimTime lookahead) {
-  MASSF_CHECK(!finalized_);
-  MASSF_CHECK(src >= 0 && dst >= 0);
-  MASSF_CHECK(lookahead > 0);
+  MASSF_ENFORCE(!finalized_, ErrorCategory::kTopology,
+                "ChannelGraph::add after the graph was finalized "
+                "(installed via Engine::set_channels)");
+  MASSF_ENFORCE(src >= 0 && dst >= 0, ErrorCategory::kTopology,
+                "channel endpoints must be non-negative LP ids (got " +
+                    std::to_string(src) + " -> " + std::to_string(dst) + ")");
+  MASSF_ENFORCE(lookahead > 0, ErrorCategory::kTopology,
+                "channel lookahead must be > 0");
   if (src == dst) return;  // same-LP sends never cross a channel
   channels_.push_back(Channel{src, dst, lookahead});
   min_lookahead_ = std::min(min_lookahead_, lookahead);
@@ -91,7 +100,13 @@ void ChannelGraph::finalize(LpId num_lps) {
   in_.assign(static_cast<std::size_t>(num_lps), {});
   out_.assign(static_cast<std::size_t>(num_lps), {});
   for (const Channel& c : channels_) {
-    MASSF_CHECK(c.src < num_lps && c.dst < num_lps);
+    if (c.src >= num_lps || c.dst >= num_lps) {
+      MASSF_THROW(ErrorCategory::kTopology,
+                  "channel " + std::to_string(c.src) + " -> " +
+                      std::to_string(c.dst) +
+                      " names an unregistered LP (engine has " +
+                      std::to_string(num_lps) + ")");
+    }
     // Channels are (src, dst)-sorted, so both lists come out sorted —
     // in-neighbor order is the deterministic merge order.
     in_[static_cast<std::size_t>(c.dst)].push_back(c.src);
@@ -217,6 +232,7 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
     clear_outboxes();
     account_window();
     ++sync_stats_.quiescence_epochs;
+    guard_.epochs.fetch_add(1, std::memory_order_relaxed);
     if (timed) {
       // Close the probe row before the next boundary's hooks run — a ckpt
       // hook may serialize the probe, which requires no open window. The
@@ -238,7 +254,14 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
         next < opts_.end_time && next != kSimTimeMax && !stop_requested();
     if (cont) {
       const auto th = timed ? Clock::now() : Clock::time_point{};
-      cont = open_window_boundary(next);  // checkpoint-then-exit on false
+      try {
+        cont = open_window_boundary(next);  // checkpoint-then-exit on false
+      } catch (...) {
+        // A boundary hook threw at the quiescent point: record (raises the
+        // stop flag) and shut the run down as a checkpoint-then-exit would.
+        record_run_error();
+        cont = false;
+      }
       if (timed) pending_hook_s = elapsed_s(th, Clock::now());
     }
 
@@ -279,13 +302,21 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
       bool closed = false;
       for (LpId k = 0; k < n && !closed; ++k) {
         const LpId i = (offset + k) % n;
+        // Test-only stall injection: a frozen LP is never claimed, so its
+        // channel clock stops and the epoch cannot close — the synthetic
+        // protocol stall the watchdog tests exercise.
+        if (guard_frozen(i)) continue;
         PaddedStage& st = stage[static_cast<std::size_t>(i)];
         std::uint64_t s = st.v.load(std::memory_order_acquire);
         if (s == base + kIdle) {
           std::uint64_t expect = base + kIdle;
           if (st.v.compare_exchange_strong(expect, base + kProcessing,
                                            std::memory_order_acq_rel)) {
-            process_lp_window(i);
+            try {
+              process_lp_window(i);
+            } catch (...) {
+              record_run_error();  // first error wins; stop flag raised
+            }
             st.v.store(base + kProcessed, std::memory_order_release);
             processed_count.fetch_add(1, std::memory_order_acq_rel);
             did_work = true;
@@ -298,7 +329,11 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
           std::uint64_t expect = base + kProcessed;
           if (st.v.compare_exchange_strong(expect, base + kMerging,
                                            std::memory_order_acq_rel)) {
-            merge_lp_inbox(i, &mine.null_events);
+            try {
+              merge_lp_inbox(i, &mine.null_events);
+            } catch (...) {
+              record_run_error();
+            }
             st.v.store(base + kMerged, std::memory_order_release);
             did_work = true;
             if (merged_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -335,6 +370,9 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
         // stall briefly without sleeping — the stage transition that frees
         // us has no wake channel, and it is at most one LP window away.
         ++mine.stalls;
+        if (guard_enabled_) {
+          guard_.sync_stalls.fetch_add(1, std::memory_order_relaxed);
+        }
         if (timed) {
           const auto t0 = Clock::now();
           for (std::int32_t r = 0; r < spin; ++r) cpu_relax();
@@ -348,6 +386,21 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
     }
   };
 
+  // Forced cancellation (Engine::cancel_run, the watchdog's stall policy):
+  // raise done and bump the epoch word so parked workers wake — an
+  // atomic wait only returns when the value actually changed, so a bare
+  // notify would be lost. Every worker reaches its loop top and returns;
+  // a stray e+1 store from a racing closer is harmless because done is
+  // checked first.
+  {
+    std::lock_guard<std::mutex> lk(cancel_mu_);
+    canceller_ = [&done, &epoch] {
+      done.store(true, std::memory_order_release);
+      epoch.fetch_add(1, std::memory_order_release);
+      epoch.notify_all();
+    };
+  }
+
   std::vector<std::jthread> workers;
   workers.reserve(static_cast<std::size_t>(num_threads - 1));
   for (std::int32_t t = 1; t < num_threads; ++t) {
@@ -355,6 +408,12 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
   }
   worker(0);
   workers.clear();  // join
+
+  {
+    // The canceller captures this frame's locals; it must not outlive them.
+    std::lock_guard<std::mutex> lk(cancel_mu_);
+    canceller_ = nullptr;
+  }
 
   for (const ThreadAccum& a : accum) {
     sync_stats_.stalls += a.stalls;
@@ -366,6 +425,7 @@ RunStats Engine::run_threaded_channel(std::int32_t num_threads) {
   }
   threaded_ = false;
   finish_run(final_floor);
+  rethrow_run_error();
   return stats_;
 }
 

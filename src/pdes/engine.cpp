@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "ckpt/ckpt.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace massf {
 
@@ -32,10 +34,14 @@ std::vector<double> RunStats::event_rates() const {
   return rates;
 }
 
-Engine::Engine(const EngineOptions& options) : opts_(options) {
-  MASSF_CHECK(opts_.lookahead > 0);
-  MASSF_CHECK(opts_.cost_per_event_s >= 0);
-  MASSF_CHECK(opts_.end_time > 0);
+Engine::Engine(const EngineOptions& options)
+    : opts_(options), guard_enabled_(options.guard.enabled) {
+  MASSF_ENFORCE(opts_.lookahead > 0, ErrorCategory::kConfig,
+                "EngineOptions::lookahead must be > 0");
+  MASSF_ENFORCE(opts_.cost_per_event_s >= 0, ErrorCategory::kConfig,
+                "EngineOptions::cost_per_event_s must be >= 0");
+  MASSF_ENFORCE(opts_.end_time > 0, ErrorCategory::kConfig,
+                "EngineOptions::end_time must be > 0");
 }
 
 Engine::~Engine() = default;
@@ -65,7 +71,14 @@ void Engine::schedule(LpId lp, SimTime time, std::int32_t type,
   if (!running_ || cur == kInvalidLp) {
     // Initial (pre-run) or barrier-hook scheduling: direct insertion. While
     // running, injected events must not land inside the open window.
-    MASSF_CHECK(!running_ || time >= window_end_);
+    if (running_ && time < window_end_) {
+      MASSF_THROW(ErrorCategory::kConfig,
+                  "injected event at t=" + std::to_string(time) +
+                      " lands inside the open window ending at t=" +
+                      std::to_string(window_end_) +
+                      " (boundary hooks must schedule at or after the "
+                      "window end)");
+    }
     auto& dst = lps_[static_cast<std::size_t>(lp)];
     ev.seq = dst.next_seq++;
     dst.queue.push(ev);
@@ -83,10 +96,24 @@ void Engine::schedule(LpId lp, SimTime time, std::int32_t type,
   // Cross-LP send: the conservative contract. The channel latency embedded
   // in `time` must push the event past the current window, otherwise the
   // partition's lookahead (MLL) was computed wrong.
-  MASSF_CHECK(time >= window_end_);
+  if (time < window_end_) {
+    MASSF_THROW(ErrorCategory::kTopology,
+                "cross-LP send from lp " + std::to_string(cur) + " to lp " +
+                    std::to_string(lp) + " at t=" + std::to_string(time) +
+                    " arrives inside the sending window ending at t=" +
+                    std::to_string(window_end_) +
+                    " — channel latency is below the partition lookahead "
+                    "(MLL)");
+  }
   // A declared topology is a promise the merge order relies on: sends may
   // only travel declared channels (channel_sync.hpp).
-  MASSF_CHECK(channels_.allows(cur, lp));
+  if (!channels_.allows(cur, lp)) {
+    MASSF_THROW(ErrorCategory::kTopology,
+                "cross-LP send from lp " + std::to_string(cur) + " to lp " +
+                    std::to_string(lp) +
+                    " travels a channel missing from the declared "
+                    "ChannelGraph");
+  }
   lps_[static_cast<std::size_t>(cur)].outbox.add(ev);
 }
 
@@ -95,7 +122,15 @@ void Engine::set_channels(ChannelGraph graph) {
   graph.finalize(num_lps());
   // A channel faster than the window width would let a send land inside
   // the window it was sent from — the lookahead (MLL) contract.
-  MASSF_CHECK(graph.min_lookahead() >= opts_.lookahead);
+  if (graph.min_lookahead() < opts_.lookahead) {
+    MASSF_THROW(ErrorCategory::kTopology,
+                "ChannelGraph min lookahead " +
+                    std::to_string(graph.min_lookahead()) +
+                    " is below the engine lookahead " +
+                    std::to_string(opts_.lookahead) +
+                    " — a send along that channel could land inside its "
+                    "own window");
+  }
   channels_ = std::move(graph);
 }
 
@@ -160,6 +195,9 @@ void Engine::account_window() {
   stats_.modeled_wall_s += max_busy + opts_.sync_cost_s;
   stats_.modeled_sync_s += opts_.sync_cost_s;
   ++stats_.num_windows;
+  // Unconditional (one relaxed increment per window): the watchdog's
+  // progress sample and the test freeze hook key off it.
+  guard_.windows.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Engine::process_lp_window(LpId i) {
@@ -173,29 +211,42 @@ void Engine::process_lp_window(LpId i) {
   } else {
     current_lp_ = i;
   }
-  for (;;) {
-    const SimTime next = lp.queue.min_time();  // kSimTimeMax when empty
-    if (next >= window_end_ || next >= opts_.end_time) break;
-    const Event ev = lp.queue.top();
-    lp.queue.pop();
+  try {
+    for (;;) {
+      const SimTime next = lp.queue.min_time();  // kSimTimeMax when empty
+      if (next >= window_end_ || next >= opts_.end_time) break;
+      const Event ev = lp.queue.top();
+      lp.queue.pop();
+      if (threaded_) {
+        tls_ctx_.now = ev.time;
+      } else {
+        now_ = ev.time;
+      }
+      lp.process->handle(*this, ev);
+      ++lp.events;
+      ++lp.window_events;
+      if (opts_.load_bin > 0) {
+        stats_.lp_load[static_cast<std::size_t>(i)].add(to_seconds(ev.time),
+                                                        1.0);
+      }
+    }
+  } catch (...) {
+    // Restore the handler context before the error propagates: the worker
+    // keeps running protocol steps (and possibly other LPs) while the run
+    // shuts down, and a stale context would corrupt now()/current_lp().
     if (threaded_) {
-      tls_ctx_.now = ev.time;
+      tls_ctx_ = saved;
     } else {
-      now_ = ev.time;
+      current_lp_ = kInvalidLp;
     }
-    lp.process->handle(*this, ev);
-    ++lp.events;
-    ++lp.window_events;
-    if (opts_.load_bin > 0) {
-      stats_.lp_load[static_cast<std::size_t>(i)].add(to_seconds(ev.time),
-                                                      1.0);
-    }
+    throw;
   }
   if (threaded_) {
     tls_ctx_ = saved;
   } else {
     current_lp_ = kInvalidLp;
   }
+  if (guard_enabled_) guard_note_lp(i);
 }
 
 void Engine::run_barrier_hooks(SimTime floor) {
@@ -286,6 +337,18 @@ void Engine::begin_run() {
   MASSF_CHECK(!running_);
   running_ = true;
   stop_requested_.store(false, std::memory_order_relaxed);
+  cancel_requested_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    run_error_ = nullptr;
+  }
+  if (guard_enabled_) {
+    guard_.reset(lps_.size());
+  } else {
+    guard_.windows.store(0, std::memory_order_relaxed);
+    guard_.epochs.store(0, std::memory_order_relaxed);
+    guard_.sync_stalls.store(0, std::memory_order_relaxed);
+  }
   sync_stats_ = SyncStats{};
   sync_stats_.channels = channels_.size();
   if (restored_) {
@@ -324,7 +387,9 @@ MigrationStats Engine::migrate_events(
   // Boundary-only: migration touches two LP queues at once, which is safe
   // exactly when no handler is running (workers quiescent under the
   // threaded executor — hooks run coordinator-only).
-  MASSF_CHECK(current_lp() == kInvalidLp);
+  MASSF_ENFORCE(current_lp() == kInvalidLp, ErrorCategory::kInternal,
+                "migrate_events called from inside a handler — boundary-"
+                "only operation (no handler may be running)");
 
   Lp& src = lps_[static_cast<std::size_t>(from)];
   Lp& dst = lps_[static_cast<std::size_t>(to)];
@@ -478,6 +543,50 @@ RunStats Engine::run() {
   begin_run();
   run_threads_ = 0;
   return run_window_loop();
+}
+
+bool Engine::cancel_run() {
+  std::lock_guard<std::mutex> lk(cancel_mu_);
+  cancel_requested_.store(true, std::memory_order_release);
+  stop_requested_.store(true, std::memory_order_release);
+  if (!canceller_) return false;
+  canceller_();
+  return true;
+}
+
+void Engine::record_run_error() {
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    if (!run_error_) run_error_ = std::current_exception();
+  }
+  // The stop flag drains the run through the normal protocol: every
+  // worker reaches its gates/epochs, the coordinator exits at the next
+  // boundary, threads join cleanly.
+  stop_requested_.store(true, std::memory_order_release);
+}
+
+bool Engine::has_run_error() const {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  return run_error_ != nullptr;
+}
+
+void Engine::rethrow_run_error() {
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    e = run_error_;
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+void Engine::guard_note_lp(LpId i) {
+  if (static_cast<std::size_t>(i) >= guard_.num_lps()) return;
+  const Lp& lp = lps_[static_cast<std::size_t>(i)];
+  guard::LpLiveness& cell = guard_.lp(static_cast<std::size_t>(i));
+  cell.clock.store(window_end_, std::memory_order_relaxed);
+  cell.events.store(lp.events, std::memory_order_relaxed);
+  cell.queue_depth.store(lp.queue.size(), std::memory_order_relaxed);
+  cell.queue_min_time.store(lp.queue.min_time(), std::memory_order_relaxed);
 }
 
 RunStats Engine::run_window_loop() {

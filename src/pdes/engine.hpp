@@ -21,10 +21,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "guard/options.hpp"
 #include "pdes/channel_sync.hpp"
 #include "pdes/event.hpp"
 #include "pdes/sched.hpp"
@@ -113,6 +116,11 @@ struct EngineOptions {
   /// protocols produce the bit-identical trace). Defaults to channel
   /// clocks; MASSF_SYNC=barrier flips the process default.
   SyncMode sync = default_sync_mode();
+  /// Supervision (src/guard). When enabled the engine maintains liveness
+  /// telemetry (guard::GuardTelemetry) a watchdog can sample; off by
+  /// default, flipped process-wide by MASSF_GUARD. The engine itself never
+  /// starts the monitor thread — guard::Watchdog does.
+  guard::GuardOptions guard = guard::default_guard_options();
 };
 
 struct RunStats {
@@ -182,7 +190,11 @@ class Engine {
   }
 
   /// Runs sequentially (deterministic reference executor) until end_time or
-  /// event exhaustion.
+  /// event exhaustion. Contract violations (util/error.hpp) surface as
+  /// thrown EngineError under every executor — a throw from a handler or
+  /// hook on a worker thread is captured, the run shuts down cleanly at
+  /// the next protocol step, and the first error is rethrown on the
+  /// calling thread. The engine must not be reused after a thrown run.
   RunStats run();
 
   /// Runs the same protocol with the per-window LP processing and outbox
@@ -203,8 +215,9 @@ class Engine {
   /// Declares the cross-LP communication topology the channel-clock
   /// executor synchronizes over, replacing the all-pairs default. Every
   /// channel lookahead must be >= options().lookahead and ids must name
-  /// registered LPs. Once declared, schedule() enforces the topology under
-  /// every executor: a cross-LP send along an undeclared channel aborts.
+  /// registered LPs (violations throw EngineError, category topology).
+  /// Once declared, schedule() enforces the topology under every executor:
+  /// a cross-LP send along an undeclared channel throws.
   void set_channels(ChannelGraph graph);
   const ChannelGraph& channels() const { return channels_; }
 
@@ -216,6 +229,42 @@ class Engine {
   /// online mode, from the agent thread — hence the atomic: the coordinator
   /// re-reads the flag at every window boundary.
   void request_stop() { stop_requested_.store(true, std::memory_order_release); }
+
+  /// Forcibly cancels the in-flight run from another thread (the watchdog's
+  /// stall policy). Beyond request_stop() — which only takes effect at the
+  /// next window boundary, a boundary a stalled run never reaches — this
+  /// additionally wakes the channel-clock executor's parked/stalling
+  /// workers so they observe the stop and return. Returns true when the
+  /// active executor supports forced cancellation (currently the channel
+  /// executor); false otherwise (sequential and barrier executors can only
+  /// honor the boundary stop — a run wedged *inside* a window or at a
+  /// SpinBarrier cannot be recovered in-process). After a cancelled run,
+  /// run_cancelled() is true, the RunStats are a truncated prefix, and the
+  /// engine must not be reused — recovery restores a checkpoint into a
+  /// fresh engine (guard/guarded_run.hpp).
+  bool cancel_run();
+
+  /// True when the last run ended via cancel_run() rather than reaching
+  /// end_time / event exhaustion / a clean stop.
+  bool run_cancelled() const {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Liveness telemetry sampled by guard::Watchdog. Sized by begin_run()
+  /// when options().guard.enabled; all fields are atomics (safe to read
+  /// concurrently with the run).
+  const guard::GuardTelemetry& guard_telemetry() const { return guard_; }
+
+  /// Test-only stall injection: once `after_windows` windows have been
+  /// accounted, the channel-clock executor stops claiming `lp`, freezing
+  /// its channel clock mid-run — in-neighbors can never merge, the epoch
+  /// never closes, and the protocol stalls exactly the way a lost/wedged
+  /// component would. Other executors ignore the freeze (the degradation
+  /// ladder's barrier fallback must complete). kInvalidLp (default) disarms.
+  void test_freeze_lp_clock(LpId lp, std::uint64_t after_windows = 0) {
+    freeze_lp_ = lp;
+    freeze_after_windows_ = after_windows;
+  }
 
   /// Installs the window-boundary hook set, replacing whatever was
   /// installed before. See EngineHooks for the firing-order contract.
@@ -357,6 +406,32 @@ class Engine {
     return stop_requested_.load(std::memory_order_acquire);
   }
 
+  // ---- structured run errors (util/error.hpp) ---------------------------
+  // A throw from a handler or hook on a worker thread cannot simply
+  // propagate: the other workers are parked at gates / epoch waits and the
+  // process would deadlock at thread join. Workers instead record the
+  // first exception here (which also raises the stop flag so every thread
+  // unwinds through the normal protocol) and the run rethrows it on the
+  // calling thread after the join. The engine is poisoned afterwards —
+  // mid-window state is a torn prefix.
+  void record_run_error();
+  bool has_run_error() const;
+  /// Rethrows the recorded error (if any) on the calling thread. Called at
+  /// the end of every run, after finish_run.
+  void rethrow_run_error();
+
+  // ---- guard telemetry (guard/options.hpp) ------------------------------
+  /// Publishes LP `i`'s post-window liveness cell (clock, events, queue
+  /// depth/min). Called by process_lp_window; relaxed atomic stores, gated
+  /// on guard_enabled_.
+  void guard_note_lp(LpId i);
+  /// True when the test freeze hook says LP `i` must not be claimed.
+  bool guard_frozen(LpId i) const {
+    return i == freeze_lp_ &&
+           guard_.windows.load(std::memory_order_relaxed) >=
+               freeze_after_windows_;
+  }
+
   EngineOptions opts_;
   std::vector<Lp> lps_;
   SimTime now_ = 0;
@@ -365,6 +440,22 @@ class Engine {
   bool running_ = false;
   bool threaded_ = false;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> cancel_requested_{false};
+  /// Cached opts_.guard.enabled: the only guard cost a watchdog-off run
+  /// pays is this branch.
+  bool guard_enabled_ = false;
+  guard::GuardTelemetry guard_;
+  /// Installed by the active executor when it supports forced wake-up of
+  /// its workers; invoked (under the mutex) by cancel_run.
+  std::mutex cancel_mu_;
+  std::function<void()> canceller_;
+  /// First exception recorded by any thread during the run (record_run_
+  /// error); rethrown on the calling thread after join.
+  mutable std::mutex error_mu_;
+  std::exception_ptr run_error_;
+  /// Test-only stall injection (test_freeze_lp_clock).
+  LpId freeze_lp_ = kInvalidLp;
+  std::uint64_t freeze_after_windows_ = 0;
   /// Thread count of the last run (0 = sequential), for pdes.sched.*.
   std::int32_t run_threads_ = 0;
   RunStats stats_;

@@ -70,12 +70,31 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
   // barrier. Only maintained when a probe is attached.
   std::vector<double> busy_s(static_cast<std::size_t>(num_threads), 0.0);
 
+  // A throw from a handler must not unwind past a barrier: the other
+  // threads would wait forever at a gate nobody reaches. The first error
+  // is recorded (which raises the stop flag), the protocol completes the
+  // window, and the run rethrows after the join.
+  const auto guarded_process = [&](std::int32_t i) {
+    try {
+      process_lp_window(i);
+    } catch (...) {
+      record_run_error();
+    }
+  };
+  const auto guarded_merge = [&](std::int32_t d) {
+    try {
+      merge_lp_inbox(d);
+    } catch (...) {
+      record_run_error();
+    }
+  };
+
   // Processing phase then merge phase, claiming dynamically in each.
   const auto window_phase = [&](std::int32_t self) {
     const auto t0 = probe_ ? Clock::now() : Clock::time_point{};
     std::int32_t i;
     while ((i = process_claim.fetch_add(1, std::memory_order_relaxed)) < n) {
-      process_lp_window(i);
+      guarded_process(i);
     }
     if (probe_) {
       busy_s[static_cast<std::size_t>(self)] = elapsed_s(t0, Clock::now());
@@ -83,7 +102,7 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
     mid_gate.arrive_and_wait();
     std::int32_t d;
     while ((d = merge_claim.fetch_add(1, std::memory_order_relaxed)) < n) {
-      merge_lp_inbox(d);
+      guarded_merge(d);
     }
   };
 
@@ -101,6 +120,10 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
   }
 
   SimTime floor = next_event_floor();
+  // The boundary sequence runs hooks that may throw while every worker is
+  // parked at the open gate; the catch below records the error and falls
+  // through to the normal shutdown (raise done, release the gate, join).
+  try {
   while (floor < opts_.end_time && floor != kSimTimeMax && !stop_requested()) {
     // Coordinator-only: workers are parked at the open gate, so the whole
     // boundary sequence (barrier hooks → rebalance → ckpt, EngineHooks
@@ -125,14 +148,14 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
       std::int32_t i;
       while ((i = process_claim.fetch_add(1, std::memory_order_relaxed)) <
              n) {
-        process_lp_window(i);
+        guarded_process(i);
       }
       busy_s[0] = elapsed_s(t1, Clock::now());
       mid_gate.arrive_and_wait();
       const auto t2 = Clock::now();
       std::int32_t d;
       while ((d = merge_claim.fetch_add(1, std::memory_order_relaxed)) < n) {
-        merge_lp_inbox(d);
+        guarded_merge(d);
       }
       close_gate.arrive_and_wait();
       probe_window(floor);
@@ -151,6 +174,9 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
     }
     floor = next_event_floor();
   }
+  } catch (...) {
+    record_run_error();
+  }
 
   done = true;
   open_gate.arrive_and_wait();  // release workers to observe `done`
@@ -158,6 +184,7 @@ RunStats Engine::run_threaded(std::int32_t num_threads) {
   workers.clear();  // join
   threaded_ = false;
   finish_run(floor);
+  rethrow_run_error();
   return stats_;
 }
 

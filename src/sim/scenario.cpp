@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "ckpt/ckpt.hpp"
+#include "guard/watchdog.hpp"
+#include "util/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "traffic/dataflow.hpp"
@@ -210,6 +212,7 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
   eo.end_time = opts_.end_time;
   eo.load_bin = opts_.load_bin;
   eo.sync = opts_.sync;
+  eo.guard = opts_.guard;
   Engine engine(eo);
 
   NetSimOptions no = opts_.netsim;
@@ -281,7 +284,9 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
           std::string error;
           if (!ckpt::Checkpoint::write_bytes(opts_.ckpt.path, image, &error)) {
             MASSF_LOG(kError) << "checkpoint write failed: " << error;
-            MASSF_CHECK(false && "checkpoint write failed");
+            MASSF_THROW(ErrorCategory::kIo,
+                        "checkpoint write to '" + opts_.ckpt.path +
+                            "' failed: " + error);
           }
           const double write_ms =
               std::chrono::duration<double, std::milli>(
@@ -302,19 +307,34 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
                                                 &error);
     if (!ck) {
       MASSF_LOG(kError) << "checkpoint read failed: " << error;
+      MASSF_THROW(ErrorCategory::kIo,
+                  "cannot read checkpoint '" + opts_.ckpt.restore_path +
+                      "': " + error);
     }
-    MASSF_CHECK(ck.has_value() && "cannot read checkpoint file");
     if (!parts.restore(*ck, &error)) {
       MASSF_LOG(kError) << "checkpoint restore failed: " << error;
-      MASSF_CHECK(false && "checkpoint restore failed");
+      MASSF_THROW(ErrorCategory::kIo,
+                  "checkpoint restore from '" + opts_.ckpt.restore_path +
+                      "' failed: " + error);
     }
   }
 
   ExperimentResult result;
   result.mapping = mapping;
-  result.stats = opts_.executor_threads > 0
-                     ? engine.run_threaded(opts_.executor_threads)
-                     : engine.run();
+  // Supervision (DESIGN.md section 5h): the watchdog samples the engine's
+  // liveness telemetry for the duration of the run and applies the stall
+  // policy — under kCancel a wedged run comes back with
+  // last_run_cancelled() set instead of hanging the process.
+  {
+    guard::Watchdog watchdog(engine, opts_.guard, opts_.registry);
+    watchdog.arm();
+    result.stats = opts_.executor_threads > 0
+                       ? engine.run_threaded(opts_.executor_threads)
+                       : engine.run();
+    watchdog.disarm();
+    last_guard_fired_ = watchdog.fired();
+    last_run_cancelled_ = engine.run_cancelled();
+  }
   result.metrics = compute_metrics(result.stats, opts_.cluster);
   result.counters = sim.totals();
   if (opts_.registry != nullptr) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/metrics.hpp"
+#include "guard/options.hpp"
 #include "lb/mapping.hpp"
 #include "lb/profile.hpp"
 #include "lb/rebalance.hpp"
@@ -86,6 +87,11 @@ struct ScenarioOptions {
   NetSimOptions netsim;
   MappingOptions mapping;  ///< kind/num_engines/cluster are overridden
   CkptOptions ckpt;        ///< measured-run checkpointing (off by default)
+  /// Supervision for the measured run (DESIGN.md section 5h): when
+  /// enabled, a guard::Watchdog is armed around the engine run and the
+  /// engine maintains liveness telemetry. Off by default; MASSF_GUARD
+  /// flips the process default.
+  guard::GuardOptions guard = guard::default_guard_options();
   /// Online LP rebalancing during the measured run (off by default; forces
   /// collect_node_profile on when enabled). DESIGN.md section 5f.
   RebalanceOptions rebalance;
@@ -144,6 +150,20 @@ class Scenario {
   /// (same topology, host selection, and cached profile) back to back.
   void set_ckpt(const CkptOptions& ckpt) { opts_.ckpt = ckpt; }
 
+  /// Run-control mutators for subsequent run() calls — the degradation
+  /// ladder (guard/guarded_run.hpp) re-runs one Scenario under
+  /// progressively safer configurations without rebuilding the topology.
+  void set_sync(SyncMode sync) { opts_.sync = sync; }
+  void set_executor_threads(std::int32_t threads) {
+    opts_.executor_threads = threads;
+  }
+  void set_guard(const guard::GuardOptions& guard) { opts_.guard = guard; }
+
+  /// True when the last run() was cancelled by the watchdog (stall).
+  bool last_run_cancelled() const { return last_run_cancelled_; }
+  /// True when the watchdog fired during the last run().
+  bool last_guard_fired() const { return last_guard_fired_; }
+
   /// Replaces the pre-run callback (ScenarioOptions::pre_run) for
   /// subsequent run() calls — needed by callers whose attachments (e.g. a
   /// FaultInjector) require the constructed network/forwarding plane.
@@ -166,6 +186,8 @@ class Scenario {
                        bool profiling) const;
 
   ScenarioOptions opts_;
+  bool last_run_cancelled_ = false;
+  bool last_guard_fired_ = false;
   Network net_;
   std::unique_ptr<ForwardingPlane> fp_;
   std::vector<NodeId> clients_, servers_, app_hosts_;

@@ -12,7 +12,13 @@ namespace massf::detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line) {
+  // Include the failing expression text and flush before terminating:
+  // std::abort() does not flush stdio buffers, and a CI log that ends with
+  // a bare SIGABRT is useless. stdout is flushed too so interleaved
+  // progress output lands before the failure line.
+  std::fflush(stdout);
   std::fprintf(stderr, "MASSF_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
   std::abort();
 }
 

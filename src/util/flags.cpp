@@ -6,6 +6,8 @@
 #include <cstring>
 #include <string_view>
 
+#include "util/error.hpp"
+
 namespace massf {
 
 Flags::Flags(int argc, const char* const* argv) {
@@ -288,10 +290,14 @@ std::string FlagTable::help_text() const {
 const std::string& FlagTable::value_or_default(const std::string& name,
                                                FlagSpec::Type type) const {
   const FlagSpec* spec = find(name);
-  if (spec == nullptr || spec->type != type) {
-    std::fprintf(stderr, "flag lookup on undeclared flag --%s\n",
-                 name.c_str());
-    std::abort();
+  if (spec == nullptr) {
+    MASSF_THROW(ErrorCategory::kInternal,
+                "flag lookup on undeclared flag --" + name);
+  }
+  if (spec->type != type) {
+    MASSF_THROW(ErrorCategory::kInternal,
+                "flag --" + name + " accessed as " + type_name(type) +
+                    " but declared " + type_name(spec->type));
   }
   const auto it = values_.find(name);
   return it == values_.end() ? spec->default_text : it->second;

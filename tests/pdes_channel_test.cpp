@@ -13,6 +13,7 @@
 
 #include "pdes/channel_sync.hpp"
 #include "pdes/engine.hpp"
+#include "util/error.hpp"
 
 namespace massf {
 namespace {
@@ -158,8 +159,7 @@ TEST(ChannelSync, SingleThreadShortCircuitMatchesSequential) {
   EXPECT_EQ(a.modeled_wall_s, b.modeled_wall_s);
 }
 
-TEST(ChannelSyncDeath, RejectsChannelLookaheadBelowEngineLookahead) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(ChannelSyncError, RejectsChannelLookaheadBelowEngineLookahead) {
   EngineOptions o;
   o.lookahead = milliseconds(2);
   Engine engine(o);
@@ -167,11 +167,15 @@ TEST(ChannelSyncDeath, RejectsChannelLookaheadBelowEngineLookahead) {
   engine.add_lp(std::make_unique<HopLp>(0));
   ChannelGraph g;
   g.add(0, 1, milliseconds(1));  // below the engine lookahead
-  EXPECT_DEATH(engine.set_channels(std::move(g)), "MASSF_CHECK");
+  try {
+    engine.set_channels(std::move(g));
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kTopology);
+  }
 }
 
-TEST(ChannelSyncDeath, RejectsSendAlongUndeclaredChannel) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(ChannelSyncError, RejectsSendAlongUndeclaredChannel) {
   // Ring channels declared 0->1->2->0; LP 1's next_ is wired *backwards*
   // to 0, so its first forward violates the declared topology.
   EngineOptions o;
@@ -186,39 +190,47 @@ TEST(ChannelSyncDeath, RejectsSendAlongUndeclaredChannel) {
   g.add(2, 0, o.lookahead);
   engine.set_channels(std::move(g));
   engine.schedule(0, 0, kEvHop, 8);
-  EXPECT_DEATH(engine.run(), "MASSF_CHECK");
+  try {
+    engine.run();
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kTopology);
+    EXPECT_NE(std::string(e.what()).find("missing from the declared"),
+              std::string::npos);
+  }
 }
 
 // Hooks (and the boundary-only operations they gate: migration, ckpt
 // serialization) may only run at a quiescent epoch. A handler attempting a
-// boundary-only operation mid-window must abort under every executor —
+// boundary-only operation mid-window must throw under every executor —
 // sequential, and channel sync at >1 thread, where "mid-window" means
-// "outside a collapsed epoch".
-class QuiescenceDeath : public ::testing::TestWithParam<int> {};
+// "outside a collapsed epoch". Worker-side throws must surface on the
+// calling thread after a clean protocol drain.
+class QuiescenceError : public ::testing::TestWithParam<int> {};
 
-TEST_P(QuiescenceDeath, BoundaryOpsOutsideQuiescentEpochDie) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST_P(QuiescenceError, BoundaryOpsOutsideQuiescentEpochThrow) {
   const std::int32_t threads = GetParam();
-  EXPECT_DEATH(
-      {
-        EngineOptions o;
-        o.lookahead = milliseconds(1);
-        o.end_time = seconds(3600);
-        o.sync = SyncMode::kChannel;
-        Engine engine(o);
-        engine.add_lp(std::make_unique<HopLp>(1, /*misbehave=*/true));
-        engine.add_lp(std::make_unique<HopLp>(0));
-        engine.schedule(0, 0, kEvHop, 4);
-        if (threads > 0) {
-          engine.run_threaded(threads);
-        } else {
-          engine.run();
-        }
-      },
-      "MASSF_CHECK");
+  EngineOptions o;
+  o.lookahead = milliseconds(1);
+  o.end_time = seconds(3600);
+  o.sync = SyncMode::kChannel;
+  Engine engine(o);
+  engine.add_lp(std::make_unique<HopLp>(1, /*misbehave=*/true));
+  engine.add_lp(std::make_unique<HopLp>(0));
+  engine.schedule(0, 0, kEvHop, 4);
+  try {
+    if (threads > 0) {
+      engine.run_threaded(threads);
+    } else {
+      engine.run();
+    }
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kInternal);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Executors, QuiescenceDeath,
+INSTANTIATE_TEST_SUITE_P(Executors, QuiescenceError,
                          ::testing::Values(0, 2, 3));
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "pdes/engine.hpp"
+#include "util/error.hpp"
 
 namespace massf {
 namespace {
@@ -277,20 +278,21 @@ TEST(Engine, SyncCostScalesWithWindows) {
   EXPECT_GT(sync_of(milliseconds(1)), 2 * sync_of(milliseconds(8)));
 }
 
-TEST(EngineDeath, CrossLpViolationAborts) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  ASSERT_DEATH(
-      {
-        Engine engine(base_options());
-        auto lp = std::make_unique<RecordingLp>();
-        lp->relay_to = 1;
-        lp->channel_latency = microseconds(10);  // < lookahead: illegal
-        engine.add_lp(std::move(lp));
-        engine.add_lp(std::make_unique<RecordingLp>());
-        engine.schedule(0, milliseconds(1), 1);
-        engine.run();
-      },
-      "MASSF_CHECK");
+TEST(EngineError_, CrossLpViolationThrows) {
+  Engine engine(base_options());
+  auto lp = std::make_unique<RecordingLp>();
+  lp->relay_to = 1;
+  lp->channel_latency = microseconds(10);  // < lookahead: illegal
+  engine.add_lp(std::move(lp));
+  engine.add_lp(std::make_unique<RecordingLp>());
+  engine.schedule(0, milliseconds(1), 1);
+  try {
+    engine.run();
+    FAIL() << "expected EngineError";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kTopology);
+    EXPECT_NE(std::string(e.what()).find("lookahead"), std::string::npos);
+  }
 }
 
 // ---- conservative contract, both executors ------------------------------
@@ -316,9 +318,10 @@ void run_cross_lp_violation(bool threaded) {
   }
 }
 
-TEST(EngineDeath, CrossLpViolationAbortsThreaded) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  ASSERT_DEATH(run_cross_lp_violation(true), "MASSF_CHECK");
+TEST(EngineError_, CrossLpViolationThrowsThreaded) {
+  // The violation fires in a handler on a worker thread; the executor
+  // captures it, drains the protocol, and rethrows on the calling thread.
+  EXPECT_THROW(run_cross_lp_violation(true), EngineError);
 }
 
 TEST(Engine, CrossLpAtExactWindowEndAccepted) {
@@ -376,10 +379,12 @@ TEST(Engine, HookInjectionAtWindowEndAccepted) {
   }
 }
 
-TEST(EngineDeath, HookInjectionInsideWindowAborts) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  ASSERT_DEATH(run_hook_injection_at(-1, false), "MASSF_CHECK");
-  ASSERT_DEATH(run_hook_injection_at(-1, true), "MASSF_CHECK");
+TEST(EngineError_, HookInjectionInsideWindowThrows) {
+  // Sequential: the hook throw propagates straight out of run().
+  // Threaded: the coordinator records it at the boundary and rethrows
+  // after the workers drain — same observable contract.
+  EXPECT_THROW(run_hook_injection_at(-1, false), EngineError);
+  EXPECT_THROW(run_hook_injection_at(-1, true), EngineError);
 }
 
 // ---- threaded executor -------------------------------------------------
