@@ -1,25 +1,26 @@
-// The experiment driver: runs a complete load-balance study from a DML
-// configuration file.
+// The experiment driver: runs a complete load-balance study from a
+// declarative scenario file.
 //
-//   ./massf_cli --template            # print a config template and exit
+//   ./massf_cli --template            # print a scenario template and exit
 //   ./massf_cli --config=exp.dml [--mapping=HPROF,TOP2]
 //   ./massf_cli --help                # the full flag table
 //
-// Every flag is declared once in the FlagTable below (name, type, default,
-// help, validator); the parser and the --help screen are generated from
-// that single declaration. Validation errors carry the argv position
-// ("arg N (--flag=value): what") and exit 2.
+// The scenario file (sim/scenario_config.hpp) describes the whole
+// experiment — topology scale, traffic mix, fault schedule, rebalance /
+// checkpoint / guard policy, mapping run list. Every run-control flag
+// below maps onto a scenario atom (the shared declaration lives in
+// add_run_control_flags); flags the user explicitly passes override the
+// file. Validation errors carry the argv position ("arg N
+// (--flag=value): what") and exit 2.
 //
 // Checkpoint/restore (format massf.ckpt.v1, DESIGN.md section 5e):
 //   --ckpt-every=N --ckpt-path=f.ckpt [--ckpt-stop]   # snapshot every N
-//                                                     # windows (optionally
-//                                                     # stop at the first)
 //   --restore=f.ckpt                                  # resume from snapshot
-// Both require exactly one --mapping: a checkpoint captures one run, and a
+// Both require exactly one mapping: a checkpoint captures one run, and a
 // restored run must rebuild the identical stack before loading it.
 //
-// Fault injection: --faults=schedule.txt compiles a fault schedule (the
-// line-based format of fault/fault.hpp) into the run.
+// Fault injection: embed a faults [ ] block in the scenario, or pass
+// --faults=schedule.txt (the line-based format of fault/fault.hpp).
 //
 // Online rebalancing (DESIGN.md section 5f): --rebalance enables the LP
 // migration controller; --rebalance-threshold / --rebalance-every /
@@ -32,12 +33,11 @@
 // checkpoint when --ckpt-every/--ckpt-path are armed.
 #include <cstdio>
 #include <fstream>
-#include <sstream>
+#include <memory>
 
 #include "fault/injector.hpp"
 #include "guard/guarded_run.hpp"
 #include "obs/metrics.hpp"
-#include "sim/report.hpp"
 #include "sim/scenario.hpp"
 #include "sim/scenario_config.hpp"
 #include "util/error.hpp"
@@ -55,181 +55,60 @@ int main(int argc, char** argv) {
   using namespace massf;
 
   FlagTable flags("massf_cli",
-                  "Runs a load-balance study from a DML configuration.");
+                  "Runs a load-balance study from a scenario file.");
   flags.add_bool("template", false,
-                 "print a DML config template and exit");
-  flags.add_string("config", "", "DML experiment configuration file");
-  flags.add_string("mapping", "",
-                   "comma-separated mapping kinds (default: HPROF,PROF2,"
-                   "HTOP,TOP2)");
-  flags.add_int("ckpt-every", 0,
-                "checkpoint every N sync windows (0 = off)",
-                [](std::int64_t v) {
-                  return v >= 0 ? "" : "must be >= 0";
-                });
-  flags.add_string("ckpt-path", "", "checkpoint file to write");
-  flags.add_bool("ckpt-stop", false, "stop after the first checkpoint");
-  flags.add_string("restore", "", "checkpoint file to resume from");
-  flags.add_string("faults", "",
-                   "fault schedule file (link flaps, crashes, loss bursts)");
-  flags.add_bool("rebalance", false,
-                 "enable online LP rebalancing at window boundaries");
-  flags.add_double("rebalance-threshold", 1.25,
-                   "trigger when max/avg engine load exceeds this",
-                   [](double v) {
-                     return v >= 1.0 ? "" : "must be >= 1.0";
-                   });
-  flags.add_int("rebalance-every", 64,
-                "check imbalance every N sync windows",
-                [](std::int64_t v) {
-                  return v >= 1 ? "" : "must be >= 1";
-                });
-  flags.add_int("rebalance-sustain", 2,
-                "consecutive over-threshold checks before migrating",
-                [](std::int64_t v) {
-                  return v >= 1 ? "" : "must be >= 1";
-                });
-  flags.add_int("rebalance-max-moves", 8,
-                "max routers migrated per trigger",
-                [](std::int64_t v) {
-                  return v >= 1 ? "" : "must be >= 1";
-                });
-  flags.add_bool("guard", guard::default_guard_options().enabled,
-                 "arm the liveness watchdog over every run (MASSF_GUARD=1 "
-                 "flips this default)");
-  flags.add_double("guard-deadline",
-                   guard::default_guard_options().stall_deadline_s,
-                   "seconds without progress before declaring a stall",
-                   [](double v) { return v > 0 ? "" : "must be > 0"; });
-  flags.add_string("guard-dump", "guard_stall.json",
-                   "stall diagnostic JSON file (empty = stderr only)");
-  flags.add_string("guard-policy", "recover",
-                   "on stall: 'recover' (cancel + retry ladder) or 'abort'",
-                   [](const std::string& v) {
-                     return v == "recover" || v == "abort"
-                                ? ""
-                                : "must be 'recover' or 'abort'";
-                   });
-  flags.add_int("guard-retries", 1,
-                "same-configuration retries before degrading",
-                [](std::int64_t v) {
-                  return v >= 0 ? "" : "must be >= 0";
-                });
+                 "print a scenario file template and exit");
+  flags.add_string("config", "", "scenario DML file");
+  add_run_control_flags(flags);
   flags.parse_or_exit(argc, argv);
 
   if (flags.get_bool("template")) {
-    ScenarioOptions defaults;
-    defaults.app = AppKind::kScaLapack;
-    std::fputs(write_dml(scenario_options_to_dml(defaults)).c_str(), stdout);
+    ScenarioSpec defaults;
+    defaults.name = "template";
+    defaults.options.app = AppKind::kScaLapack;
+    std::fputs(write_dml(scenario_spec_to_dml(defaults)).c_str(), stdout);
     return 0;
   }
 
-  ScenarioOptions opts;
+  ScenarioSpec spec;
   if (flags.set("config")) {
-    std::ifstream in(flags.get_string("config"));
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n",
-                   flags.get_string("config").c_str());
-      return 1;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    DmlParseError perr;
-    const auto root = parse_dml(buf.str(), &perr);
-    if (!root) {
-      std::fprintf(stderr, "config parse error at line %d: %s\n", perr.line,
-                   perr.message.c_str());
-      return 1;
-    }
     std::string error;
-    const auto parsed = scenario_options_from_dml(*root, &error);
+    const auto parsed = load_scenario_file(flags.get_string("config"), &error);
     if (!parsed) {
-      std::fprintf(stderr, "bad config: %s\n", error.c_str());
+      std::fprintf(stderr, "%s: %s\n", flags.get_string("config").c_str(),
+                   error.c_str());
       return 1;
     }
-    opts = *parsed;
+    spec = *parsed;
   } else {
     std::fprintf(stderr,
                  "no --config given; using built-in defaults "
                  "(print one with --template)\n");
-    opts.num_routers = 800;
-    opts.num_hosts = 400;
-    opts.num_clients = 120;
-    opts.num_servers = 30;
-    opts.num_engines = 12;
-    opts.end_time = seconds(5);
-    opts.app = AppKind::kScaLapack;
+    spec.options.num_routers = 800;
+    spec.options.num_hosts = 400;
+    spec.options.num_clients = 120;
+    spec.options.num_servers = 30;
+    spec.options.num_engines = 12;
+    spec.options.end_time = seconds(5);
+    spec.options.app = AppKind::kScaLapack;
+    // The historical CLI default study: the four headline mappings.
+    spec.mappings = {MappingKind::kHProf, MappingKind::kProf2,
+                     MappingKind::kHTop, MappingKind::kTop2};
   }
 
-  std::vector<MappingKind> kinds;
-  if (flags.set("mapping")) {
-    std::stringstream ss(flags.get_string("mapping"));
-    std::string name;
-    while (std::getline(ss, name, ',')) {
-      const auto k = mapping_kind_from_name(name);
-      if (!k) {
-        std::fprintf(stderr, "unknown mapping '%s'\n", name.c_str());
-        return 1;
-      }
-      kinds.push_back(*k);
-    }
-  } else {
-    kinds = {MappingKind::kHProf, MappingKind::kProf2, MappingKind::kHTop,
-             MappingKind::kTop2};
-  }
-
-  CkptOptions ckpt;
-  ckpt.every_windows = static_cast<std::uint64_t>(flags.get_int("ckpt-every"));
-  ckpt.path = flags.get_string("ckpt-path");
-  ckpt.stop_after = flags.get_bool("ckpt-stop");
-  ckpt.restore_path = flags.get_string("restore");
-  if (ckpt.every_windows > 0 && ckpt.path.empty()) {
-    std::fprintf(stderr, "--ckpt-every requires --ckpt-path\n");
+  std::string error;
+  if (!apply_run_control_flags(flags, &spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  if ((ckpt.every_windows > 0 || !ckpt.restore_path.empty()) &&
-      kinds.size() != 1) {
+
+  ScenarioOptions& opts = spec.options;
+  if ((opts.ckpt.every_windows > 0 || !opts.ckpt.restore_path.empty()) &&
+      spec.mappings.size() != 1) {
     std::fprintf(stderr,
-                 "checkpoint/restore requires exactly one --mapping "
+                 "checkpoint/restore requires exactly one mapping "
                  "(a snapshot captures a single run)\n");
     return 1;
-  }
-  opts.ckpt = ckpt;
-
-  const bool guarded = flags.get_bool("guard");
-  opts.guard.enabled = guarded;
-  opts.guard.stall_deadline_s = flags.get_double("guard-deadline");
-  opts.guard.dump_path = flags.get_string("guard-dump");
-  opts.guard.on_stall = flags.get_string("guard-policy") == "abort"
-                            ? guard::OnStall::kAbort
-                            : guard::OnStall::kCancel;
-
-  opts.rebalance.enabled = flags.get_bool("rebalance");
-  opts.rebalance.threshold = flags.get_double("rebalance-threshold");
-  opts.rebalance.every_windows =
-      static_cast<std::uint64_t>(flags.get_int("rebalance-every"));
-  opts.rebalance.sustain =
-      static_cast<std::int32_t>(flags.get_int("rebalance-sustain"));
-  opts.rebalance.max_moves =
-      static_cast<std::int32_t>(flags.get_int("rebalance-max-moves"));
-
-  FaultSchedule faults;
-  if (flags.set("faults")) {
-    std::ifstream in(flags.get_string("faults"));
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n",
-                   flags.get_string("faults").c_str());
-      return 1;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string error;
-    const auto parsed = parse_fault_schedule(buf.str(), &error);
-    if (!parsed) {
-      std::fprintf(stderr, "fault schedule error: %s\n", error.c_str());
-      return 1;
-    }
-    faults = *parsed;
   }
 
   std::printf("experiment: %s, %d routers, %d hosts, %d engines, app=%s, "
@@ -243,10 +122,10 @@ int main(int argc, char** argv) {
   // attached through the pre-run callback, which hands us the engine and
   // NetSim of the measured run right before it executes.
   std::unique_ptr<FaultInjector> injector;
-  if (!faults.events().empty()) {
+  if (!spec.faults.empty()) {
     injector = std::make_unique<FaultInjector>(scenario.network(),
                                                scenario.forwarding_mut());
-    FaultSchedule* sched = &faults;
+    const FaultSchedule* sched = &spec.faults;
     FaultInjector* inj = injector.get();
     scenario.set_pre_run([inj, sched](Engine& engine, NetSim& sim) {
       inj->arm(engine, sim, *sched);
@@ -259,24 +138,24 @@ int main(int argc, char** argv) {
 
   std::printf("%-7s %10s %9s %9s %8s %12s\n", "mapping", "T(sec)", "MLL(ms)",
               "imbal", "PE", "events");
-  for (const MappingKind kind : kinds) {
+  for (const MappingKind kind : spec.mappings) {
     ExperimentResult r;
-    if (guarded && opts.guard.on_stall == guard::OnStall::kCancel) {
+    if (opts.guard.enabled &&
+        opts.guard.on_stall == guard::OnStall::kCancel) {
       // Supervised execution: each attempt re-runs the scenario under the
       // plan's configuration, resuming from the newest checkpoint once one
       // exists. Recovery replays bit-identical state, so a recovered run
       // reports the same results as an uninterrupted one.
       bool have_result = false;
       guard::GuardedRun::Options gro;
-      gro.max_retries =
-          static_cast<int>(flags.get_int("guard-retries"));
+      gro.max_retries = spec.guard_retries;
       guard::GuardedRun runner(gro, &guard_registry);
       const auto report = runner.run(
           opts.sync, opts.executor_threads,
           [&](const guard::AttemptPlan& plan) -> guard::AttemptOutcome {
             scenario.set_sync(plan.sync);
             scenario.set_executor_threads(plan.threads);
-            CkptOptions attempt_ckpt = ckpt;
+            CkptOptions attempt_ckpt = opts.ckpt;
             if (plan.restore && !attempt_ckpt.path.empty() &&
                 file_exists(attempt_ckpt.path)) {
               attempt_ckpt.restore_path = attempt_ckpt.path;

@@ -44,6 +44,16 @@ Schemas understood (dispatched on the current report's "schema" field):
       --min-improvement modeled time (default 0.15);
     * the controller must actually have migrated something.
 
+  massf.campaign.v1 — gate on a `massf_campaign` roll-up, selected with
+  --campaign PATH (no baseline file needed):
+    * no failed runs (the "failed" list must be empty and every run ok);
+    * every golden calibration row must report --golden-checksum (default:
+      the pinned PDES-ring value), wiring the engine-determinism contract
+      into campaign artifacts;
+    * with --compare OTHER.json, the two roll-ups must be identical once
+      their "timing" sections are dropped — the 1-vs-N-workers
+      reproducibility check the nightly job runs.
+
 Usage:
   bench_pdes --out current.json   # NOT the default --out, which would
                                   # overwrite the committed baseline
@@ -261,6 +271,56 @@ def check_rebalance(current, args):
     return 0
 
 
+def check_campaign(args):
+    doc = load_json(args.campaign,
+                    "run massf_campaign --campaign=... --out=... first")
+    if doc.get("schema") != "massf.campaign.v1":
+        die(f"{args.campaign}: unexpected schema {doc.get('schema')!r} "
+            f"(want massf.campaign.v1)")
+    failures = []
+
+    failed = get(doc, "failed", args.campaign)
+    for run_id in failed:
+        failures.append(f"run '{run_id}' failed")
+    runs = get(doc, "runs", args.campaign)
+    if not runs:
+        failures.append("roll-up contains no runs")
+    for run in runs:
+        if not run.get("ok", False) and run.get("id") not in failed:
+            failures.append(f"run '{run.get('id')}' not ok but absent from "
+                            f"the failed list — roll-up is inconsistent")
+
+    golden = get(doc, "golden", args.campaign)
+    for run_id, checksum in golden.items():
+        if checksum != args.golden_checksum:
+            failures.append(f"{run_id}: checksum {checksum} != pinned "
+                            f"{args.golden_checksum}")
+
+    if args.compare:
+        other = load_json(args.compare,
+                          "run the same campaign at a second worker count")
+        a, b = dict(doc), dict(other)
+        a.pop("timing", None)
+        b.pop("timing", None)
+        if a != b:
+            diff_keys = [k for k in (set(a) | set(b)) if a.get(k) != b.get(k)]
+            failures.append(
+                f"{args.campaign} and {args.compare} differ outside "
+                f"'timing' (keys: {', '.join(sorted(diff_keys))}) — "
+                f"campaign results are not worker-count independent")
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+        return 1
+    compared = f", matches {args.compare} modulo timing" if args.compare \
+        else ""
+    print(f"check_bench: OK — campaign '{doc.get('name', '')}': "
+          f"{len(runs)} runs ok, {len(golden)} golden row(s) at the pinned "
+          f"checksum{compared}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="BENCH_pdes.json")
@@ -283,7 +343,19 @@ def main():
                              "cost of the armed-watchdog sequential_guard "
                              "row vs the unguarded sequential row in the "
                              "same report (default 0.10)")
+    parser.add_argument("--campaign", metavar="ROLLUP",
+                        help="massf.campaign.v1: gate this campaign roll-up "
+                             "instead of a bench report")
+    parser.add_argument("--compare", metavar="ROLLUP",
+                        help="with --campaign: a second roll-up that must "
+                             "be identical modulo its 'timing' section")
+    parser.add_argument("--golden-checksum", default="807988445054369792",
+                        help="with --campaign: the pinned golden-row "
+                             "checksum (string, as serialized)")
     args = parser.parse_args()
+
+    if args.campaign:
+        return check_campaign(args)
 
     current = load_json(
         args.current,

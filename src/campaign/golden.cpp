@@ -1,0 +1,77 @@
+#include "campaign/golden.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "pdes/engine.hpp"
+
+namespace massf {
+namespace {
+
+constexpr std::int32_t kEvHop = 1;
+constexpr std::int32_t kEvLocal = 2;
+
+class RingLp final : public LogicalProcess {
+ public:
+  RingLp(LpId next, std::int64_t chain) : next_(next), chain_(chain) {}
+
+  void handle(Engine& engine, const Event& ev) override {
+    checksum =
+        checksum * 1099511628211ULL + static_cast<std::uint64_t>(ev.time);
+    if (ev.type == kEvHop) {
+      if (ev.a > 0) {
+        engine.schedule(next_, ev.time + engine.options().lookahead, kEvHop,
+                        ev.a - 1);
+      }
+      if (chain_ > 0) {
+        engine.schedule(engine.current_lp(), ev.time + microseconds(1),
+                        kEvLocal, static_cast<std::uint64_t>(chain_ - 1));
+      }
+    } else if (ev.a > 0) {
+      engine.schedule(engine.current_lp(), ev.time + microseconds(1),
+                      kEvLocal, ev.a - 1);
+    }
+  }
+
+  std::uint64_t checksum = 0;
+
+ private:
+  LpId next_;
+  std::int64_t chain_;
+};
+
+}  // namespace
+
+std::uint64_t golden_ring_checksum(SyncMode sync, std::int32_t threads,
+                                   std::uint64_t* events,
+                                   std::uint64_t* windows) {
+  constexpr std::int64_t kLps = 32;
+  constexpr std::int64_t kChain = 64;
+  constexpr std::uint64_t kHops = 2000;
+
+  EngineOptions o;
+  o.lookahead = milliseconds(1);
+  o.end_time = seconds(3600);
+  o.sync = sync;
+  Engine engine(o);
+  std::vector<RingLp*> lps;
+  for (std::int64_t i = 0; i < kLps; ++i) {
+    auto lp =
+        std::make_unique<RingLp>(static_cast<LpId>((i + 1) % kLps), kChain);
+    lps.push_back(lp.get());
+    engine.add_lp(std::move(lp));
+  }
+  for (std::int64_t i = 0; i < kLps; ++i) {
+    engine.schedule(static_cast<LpId>(i), 0, kEvHop, kHops);
+  }
+  const RunStats stats =
+      threads > 0 ? engine.run_threaded(threads) : engine.run();
+  if (events != nullptr) *events = stats.total_events;
+  if (windows != nullptr) *windows = stats.num_windows;
+
+  std::uint64_t checksum = 0;
+  for (const RingLp* lp : lps) checksum = checksum * 31 + lp->checksum;
+  return checksum;
+}
+
+}  // namespace massf

@@ -111,11 +111,13 @@ bool parse_list(Lexer& lex, DmlNode& node, bool top_level,
       DmlAttribute attr;
       attr.key = std::move(key.text);
       attr.atom = std::move(value.text);
+      attr.line = key.line;
       node.attributes.push_back(std::move(attr));
     } else if (value.kind == Token::kOpen) {
       DmlAttribute attr;
       attr.key = std::move(key.text);
       attr.child = std::make_unique<DmlNode>();
+      attr.line = key.line;
       if (!parse_list(lex, *attr.child, false, error)) return false;
       node.attributes.push_back(std::move(attr));
     } else {

@@ -32,6 +32,9 @@ struct DmlAttribute {
   std::string key;
   std::string atom;                    ///< valid when child == nullptr
   std::unique_ptr<DmlNode> child;      ///< valid when non-null
+  /// Source line of the key (1-based); 0 for programmatically built trees.
+  /// Consumers use it for fault-parser-style "line N: what" diagnostics.
+  int line = 0;
 };
 
 class DmlNode {

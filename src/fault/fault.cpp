@@ -72,6 +72,11 @@ FaultSchedule& FaultSchedule::bgp_reset(SimTime at, AsId as, AsId peer,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::append(const FaultSchedule& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  return *this;
+}
+
 std::string FaultSchedule::to_text() const {
   std::vector<FaultEvent> sorted = events_;
   std::stable_sort(sorted.begin(), sorted.end(),

@@ -68,6 +68,10 @@ class FaultSchedule {
                             double rate);
   FaultSchedule& bgp_reset(SimTime at, AsId as, AsId peer, SimTime downtime);
 
+  /// Splices another schedule's events in (scenario files may combine an
+  /// included fault file with embedded event lines).
+  FaultSchedule& append(const FaultSchedule& other);
+
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }

@@ -39,6 +39,17 @@ std::string escape_json(const std::string& s) {
   return out;
 }
 
+bool excluded(std::string_view name,
+              std::span<const std::string_view> exclude) {
+  for (const std::string_view e : exclude) {
+    if (e.empty()) continue;
+    if (e.back() == '.' ? name.substr(0, e.size()) == e : name == e) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string format_double(double v) {
@@ -50,9 +61,15 @@ std::string format_double(double v) {
 }
 
 std::string to_json(const Registry& registry) {
+  return to_json_excluding(registry, {});
+}
+
+std::string to_json_excluding(const Registry& registry,
+                              std::span<const std::string_view> exclude) {
   std::string out = "{\n  \"schema\": \"massf.metrics.v1\",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : registry.counters()) {
+    if (excluded(name, exclude)) continue;
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + escape_json(name) + "\": " + std::to_string(value);
@@ -61,6 +78,7 @@ std::string to_json(const Registry& registry) {
   out += "  \"gauges\": {";
   first = true;
   for (const auto& [name, value] : registry.gauges()) {
+    if (excluded(name, exclude)) continue;
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + escape_json(name) + "\": " + format_double(value);
@@ -69,6 +87,7 @@ std::string to_json(const Registry& registry) {
   out += "  \"histograms\": {";
   first = true;
   for (const auto& h : registry.histograms()) {
+    if (excluded(h.name, exclude)) continue;
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + escape_json(h.name) + "\": {\"bounds\": [";

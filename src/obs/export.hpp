@@ -21,7 +21,9 @@
 // output is byte-stable across runs and platforms with IEEE doubles.
 #pragma once
 
+#include <span>
 #include <string>
+#include <string_view>
 
 namespace massf::obs {
 
@@ -32,6 +34,14 @@ class Registry;
 std::string format_double(double v);
 
 std::string to_json(const Registry& registry);
+
+/// to_json minus the metrics whose name matches an `exclude` entry: an
+/// entry ending in '.' excludes by prefix, anything else exactly. The
+/// campaign runner uses this to emit canonical per-run metrics with the
+/// wall-clock/executor-identity fields stripped, so two executions of the
+/// same run compare byte-identical.
+std::string to_json_excluding(const Registry& registry,
+                              std::span<const std::string_view> exclude);
 std::string to_csv(const Registry& registry);
 
 /// Writes `content` to `path` (truncating); returns false on I/O failure.

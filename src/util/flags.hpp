@@ -78,6 +78,10 @@ class FlagTable {
   void parse_or_exit(int argc, const char* const* argv);
 
   bool help_requested() const { return help_requested_; }
+  /// The declared flags, in registration order — the single source of
+  /// truth tests cross-check against other declarative surfaces (e.g. the
+  /// scenario-file schema must cover every run-control flag).
+  const std::vector<FlagSpec>& specs() const { return specs_; }
   /// The generated --help screen: usage line, description, one row per
   /// declared flag with its type, default, and help text.
   std::string help_text() const;
