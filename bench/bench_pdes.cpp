@@ -9,8 +9,18 @@
 // ("massf.bench_pdes.v1") is documented in DESIGN.md and README.md.
 //
 // Usage: bench_pdes [--lps=32] [--chain=64] [--hops=2000] [--threads=N]
-//                   [--sweep=1,2,4] [--repeats=3] [--sync=both]
+//                   [--sweep=1,2,4] [--repeats=3] [--sync=both] [--shards=2]
 //                   [--out=BENCH_pdes.json] [--print-golden]
+//
+// --shards runs the same workload once more under the multi-process
+// executor (src/shard, fork mode, no degradation fallback — the bench
+// wants the hard failure) and records a "sharded" entry carrying the
+// pdes.shard.* transport counters (ring stalls, batch bytes, cross-shard
+// events, control-page waits) plus `ring_wait_share`, the fraction of
+// total worker-seconds spent blocked on the rings/control page —
+// check_bench.py gates it like --min-wait-reduction. The sharded
+// checksum must agree with the sequential reference or the bench fails.
+// Pass --shards=0 (or 1) to skip the row.
 //
 // --print-golden runs the sequential reference once and prints only the
 // workload checksum — the value pinned by BENCH_pdes.json, the checkpoint
@@ -49,6 +59,7 @@
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "pdes/engine.hpp"
+#include "shard/supervisor.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -193,6 +204,103 @@ Measurement measure(const Workload& w, std::int32_t threads, int repeats,
   return best;
 }
 
+/// One multi-process run (best of `repeats`): the same ring workload under
+/// shard::run_sharded, plus its transport counters.
+struct ShardMeasurement {
+  shard::ShardResult result;
+  std::int32_t shards = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  /// (ring_wait_s + control_wait_s) / (wall_s * shards): the share of
+  /// total worker-seconds spent blocked on the cross-shard transport.
+  double ring_wait_share = 0;
+};
+
+shard::ShardWorkload build_shard_workload(const Workload& w) {
+  EngineOptions o;
+  o.lookahead = milliseconds(1);
+  o.end_time = seconds(3600);
+  auto engine = std::make_unique<Engine>(o);
+  auto lps = std::make_shared<std::vector<RingLp*>>();
+  for (std::int64_t i = 0; i < w.lps; ++i) {
+    auto lp =
+        std::make_unique<RingLp>(static_cast<LpId>((i + 1) % w.lps), w.chain);
+    lps->push_back(lp.get());
+    engine->add_lp(std::move(lp));
+  }
+  ChannelGraph graph;
+  for (std::int64_t i = 0; i < w.lps; ++i) {
+    graph.add(static_cast<LpId>(i), static_cast<LpId>((i + 1) % w.lps),
+              o.lookahead);
+  }
+  engine->set_channels(std::move(graph));
+  for (std::int64_t i = 0; i < w.lps; ++i) {
+    engine->schedule(static_cast<LpId>(i), 0, kEvHop,
+                     static_cast<std::uint64_t>(w.hops));
+  }
+  shard::ShardWorkload sw;
+  sw.engine = std::move(engine);
+  sw.lp_checksum = [lps](LpId i) {
+    return (*lps)[static_cast<std::size_t>(i)]->checksum;
+  };
+  return sw;
+}
+
+ShardMeasurement measure_sharded(const Workload& w, std::int32_t shards,
+                                 int repeats, obs::Registry* registry) {
+  ShardMeasurement best;
+  for (int rep = 0; rep < repeats; ++rep) {
+    shard::ShardOptions so;
+    so.shards = shards;
+    so.fallback = false;  // the bench wants the hard failure, not a rung
+    const auto t0 = std::chrono::steady_clock::now();
+    shard::ShardResult r = shard::run_sharded(
+        so, [&w] { return build_shard_workload(w); },
+        rep == 0 ? registry : nullptr);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ShardMeasurement m;
+    m.shards = r.shards;
+    m.wall_s = wall_s;
+    m.events_per_sec =
+        wall_s > 0 ? static_cast<double>(r.stats.total_events) / wall_s : 0;
+    m.ring_wait_share =
+        wall_s > 0 ? (r.metrics.ring_wait_s + r.metrics.control_wait_s) /
+                         (wall_s * r.shards)
+                   : 0;
+    m.result = std::move(r);
+    if (rep == 0 || m.wall_s < best.wall_s) best = m;
+  }
+  return best;
+}
+
+std::string shard_measurement_json(const ShardMeasurement& m) {
+  using obs::format_double;
+  const shard::ShardMetrics& t = m.result.metrics;
+  std::string out = "{\n";
+  out += "    \"shards\": " + std::to_string(m.shards) + ",\n";
+  out += "    \"events\": " + std::to_string(m.result.stats.total_events) +
+         ",\n";
+  out += "    \"windows\": " + std::to_string(m.result.stats.num_windows) +
+         ",\n";
+  out += "    \"wall_s\": " + format_double(m.wall_s) + ",\n";
+  out += "    \"events_per_sec\": " + format_double(m.events_per_sec) + ",\n";
+  out += "    \"cross_shard_events\": " +
+         std::to_string(t.cross_shard_events) + ",\n";
+  out += "    \"batch_bytes\": " + std::to_string(t.batch_bytes) + ",\n";
+  out += "    \"frames\": " + std::to_string(t.frames) + ",\n";
+  out += "    \"ring_stalls\": " + std::to_string(t.ring_stalls) + ",\n";
+  out += "    \"ring_wait_s\": " + format_double(t.ring_wait_s) + ",\n";
+  out += "    \"control_waits\": " + std::to_string(t.control_waits) + ",\n";
+  out += "    \"control_wait_s\": " + format_double(t.control_wait_s) + ",\n";
+  out += "    \"ring_wait_share\": " + format_double(m.ring_wait_share) +
+         ",\n";
+  out += "    \"checksum\": " + std::to_string(m.result.checksum) + "\n";
+  out += "  }";
+  return out;
+}
+
 std::string measurement_json(const Measurement& m, const char* indent) {
   using obs::format_double;
   const std::string in(indent);
@@ -254,6 +362,8 @@ int main(int argc, char** argv) {
       "threads",
       std::max(2u, std::min(8u, std::thread::hardware_concurrency()))));
   const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const auto shards =
+      static_cast<std::int32_t>(flags.get_int("shards", 2));
   const std::string out_path =
       flags.get_string("out", "BENCH_pdes.json");
   const std::vector<std::int32_t> sweep =
@@ -365,6 +475,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  obs::Registry shard_registry;
+  ShardMeasurement sharded;
+  const bool have_sharded = shards >= 2;
+  if (have_sharded) {
+    try {
+      sharded = measure_sharded(w, shards, repeats, &shard_registry);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[bench_pdes] ERROR: sharded run failed: %s\n",
+                   e.what());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[bench_pdes] sharded(%d): %.0f events/s "
+                 "(%llu cross-shard events, ring_wait_share %.3f)\n",
+                 sharded.shards, sharded.events_per_sec,
+                 static_cast<unsigned long long>(
+                     sharded.result.metrics.cross_shard_events),
+                 sharded.ring_wait_share);
+    if (seq.checksum != sharded.result.checksum ||
+        seq.stats.total_events != sharded.result.stats.total_events) {
+      std::fprintf(stderr,
+                   "[bench_pdes] ERROR: sharded executor disagrees "
+                   "(checksum %llu vs %llu)\n",
+                   static_cast<unsigned long long>(seq.checksum),
+                   static_cast<unsigned long long>(sharded.result.checksum));
+      return 1;
+    }
+  }
+
   const auto speedup = [&seq](const Measurement& m) {
     return m.events_per_sec > 0 && seq.events_per_sec > 0
                ? m.events_per_sec / seq.events_per_sec
@@ -384,6 +523,9 @@ int main(int argc, char** argv) {
   if (have_barrier) json += executor_json("threaded", thr_barrier) + ",\n";
   if (have_channel) {
     json += executor_json("threaded_channel", thr_channel) + ",\n";
+  }
+  if (have_sharded) {
+    json += "  \"sharded\": " + shard_measurement_json(sharded) + ",\n";
   }
   json += "  \"sweep\": [";
   for (std::size_t i = 0; i < sweep_runs.size(); ++i) {

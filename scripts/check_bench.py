@@ -35,6 +35,17 @@ Schemas understood (dispatched on the current report's "schema" field):
       (default 0.10) of the unguarded sequential row from the same run.
       Guarded entries carry "guard": true and are matched against their own
       baselines in the throughput check, never against unguarded rows.
+    * Sharded transport (self-contained): when the current report carries a
+      "sharded" entry (multi-process executor, DESIGN.md section 5j), its
+      checksum/events/windows ride the determinism check like every other
+      row, its events/s is gated against the baseline entry with the same
+      "shards" count (the key carries shards, default 0, so process rows
+      never gate against thread rows), and its ring_wait_share — the share
+      of total worker-seconds spent blocked on the cross-shard rings and
+      control page — must stay under --max-ring-wait-share (default 0.5).
+      Like the channel-wait check, the share gate is skipped when
+      config.host_cpus < shards: an oversubscribed host pins workers in
+      transport waits by scheduling, not by protocol cost.
 
   massf.bench_rebalance.v1 — self-contained gate on a
   `bench_rebalance --json` run (no baseline file needed):
@@ -112,6 +123,8 @@ def entries(doc, filename):
             f"was interrupted; regenerate it")
     for name in named:
         yield name, doc[name]
+    if "sharded" in doc:
+        yield "sharded", doc["sharded"]
     for sweep in doc.get("sweep", []):
         label = (f"sweep[sync={sweep.get('sync', 'barrier')},"
                  f"threads={sweep.get('threads', '?')}]")
@@ -153,18 +166,24 @@ def check_pdes(baseline, current, args):
             if got != want:
                 failures.append(f"{label}: {name} {got} != golden {want}")
 
-    # Throughput: compare matching (sync, threads, guard) triples — like
-    # with like; runner core counts differ, so entries absent from either
-    # report are skipped, not failed. The guard flag is part of the key so
-    # the supervised row never gates (or hides behind) the unguarded one.
+    # Throughput: compare matching (sync, threads, guard, shards) keys —
+    # like with like; runner core counts differ, so entries absent from
+    # either report are skipped, not failed. The guard flag is part of the
+    # key so the supervised row never gates (or hides behind) the unguarded
+    # one; shards (0 for every in-process row) keeps the multi-process row
+    # in its own lane — it has no "threads" field at all.
+    def entry_key(label, e, filename):
+        shards = e.get("shards", 0)
+        if shards:
+            return ("sharded", 0, False, shards)
+        return (sync_of(e), field(e, label, "threads", filename),
+                bool(e.get("guard", False)), 0)
+
     base_by_key = {
-        (sync_of(e), field(e, label, "threads", args.baseline),
-         bool(e.get("guard", False))): (label, e)
+        entry_key(label, e, args.baseline): (label, e)
         for label, e in entries(baseline, args.baseline)}
     for label, entry in entries(current, args.current):
-        match = base_by_key.get(
-            (sync_of(entry), field(entry, label, "threads", args.current),
-             bool(entry.get("guard", False))))
+        match = base_by_key.get(entry_key(label, entry, args.current))
         if match is None:
             print(f"check_bench: note: no baseline for {label}, "
                   f"skipping throughput check", file=sys.stderr)
@@ -218,6 +237,26 @@ def check_pdes(baseline, current, args):
                     f"threaded_channel: summed sync wait {channel_wait:.4f}s "
                     f"exceeds {ceiling:.4f}s ({args.min_wait_reduction:.0%} "
                     f"reduction gate vs barrier {barrier_wait:.4f}s)")
+
+    # Sharded transport share, within the current report only: the fraction
+    # of total worker-seconds the multi-process executor spent blocked on
+    # its rings + control page. Skipped on oversubscribed hosts for the
+    # same reason as the channel-wait check — there the waits measure core
+    # starvation, not transport cost.
+    sharded_top = cur.get("sharded")
+    if sharded_top is not None:
+        host_cpus = current.get("config", {}).get("host_cpus", 0)
+        shards = field(sharded_top, "sharded", "shards", args.current)
+        share = field(sharded_top, "sharded", "ring_wait_share", args.current)
+        if host_cpus < shards:
+            print(f"check_bench: note: host has {host_cpus} cpus for "
+                  f"{shards} shard workers — transport waits are scheduler-"
+                  f"bound, skipping ring-wait-share check", file=sys.stderr)
+        elif share > args.max_ring_wait_share:
+            failures.append(
+                f"sharded: ring_wait_share {share:.3f} exceeds the "
+                f"{args.max_ring_wait_share:.2f} gate — workers spend too "
+                f"much of the run blocked on the cross-shard transport")
 
     # Supervision overhead, within the current report only (same machine,
     # same run): the armed-watchdog sequential row must stay within
@@ -343,6 +382,11 @@ def main():
                              "cost of the armed-watchdog sequential_guard "
                              "row vs the unguarded sequential row in the "
                              "same report (default 0.10)")
+    parser.add_argument("--max-ring-wait-share", type=float, default=0.5,
+                        help="massf.bench_pdes.v2: max share of sharded "
+                             "worker-seconds spent blocked on the cross-"
+                             "shard rings/control page (default 0.5; "
+                             "skipped on oversubscribed hosts)")
     parser.add_argument("--campaign", metavar="ROLLUP",
                         help="massf.campaign.v1: gate this campaign roll-up "
                              "instead of a bench report")

@@ -106,7 +106,7 @@ bool unknown_key(const DmlAttribute& a, const char* where,
 bool parse_sweep(const DmlNode& node, std::vector<Axis>* axes,
                  std::string* error) {
   Axis over{"override", {}}, mapping{"mapping", {}}, sync{"sync", {}},
-      threads{"threads", {}}, seed{"seed", {}};
+      threads{"threads", {}}, shards{"shards", {}}, seed{"seed", {}};
   for (const DmlAttribute& a : node.attributes) {
     if (ignored_key(a.key)) continue;
     if (a.key == "override" && a.child) {
@@ -128,19 +128,24 @@ bool parse_sweep(const DmlNode& node, std::vector<Axis>* axes,
       }
       if (p.label.empty()) p.label = "o" + std::to_string(over.points.size());
       over.points.push_back(std::move(p));
-    } else if (a.key == "seed" || a.key == "threads") {
+    } else if (a.key == "seed" || a.key == "threads" || a.key == "shards") {
       std::int64_t v = 0;
-      if (!parse_i64(a.atom, &v) || (a.key == "threads" && v < 0)) {
+      if (!parse_i64(a.atom, &v) || (a.key == "threads" && v < 0) ||
+          (a.key == "shards" && v < 1)) {
         if (error) {
-          *error = line_err(a.line, "'" + a.key +
-                                        "' wants a non-negative integer, "
-                                        "got '" +
-                                        a.atom + "'");
+          *error = line_err(
+              a.line, "'" + a.key + "' wants a " +
+                          (a.key == "shards" ? "positive" : "non-negative") +
+                          " integer, got '" + a.atom + "'");
         }
         return false;
       }
-      Axis& ax = a.key == "seed" ? seed : threads;
-      const char* dotted = a.key == "seed" ? "seed" : "executor_threads";
+      Axis& ax = a.key == "seed" ? seed
+                 : a.key == "threads" ? threads
+                                      : shards;
+      const char* dotted = a.key == "seed"      ? "seed"
+                           : a.key == "threads" ? "executor_threads"
+                                                : "executor_shards";
       ax.points.push_back(
           {a.atom, {{std::string(dotted), a.atom, a.line}}});
     } else if (a.key == "sync" || a.key == "mapping") {
@@ -151,13 +156,13 @@ bool parse_sweep(const DmlNode& node, std::vector<Axis>* axes,
     } else {
       if (error) {
         *error = line_err(a.line, "unknown sweep axis '" + a.key +
-                                      "' (seed|sync|threads|mapping|"
+                                      "' (seed|sync|threads|shards|mapping|"
                                       "override)");
       }
       return false;
     }
   }
-  for (Axis* ax : {&over, &mapping, &sync, &threads, &seed}) {
+  for (Axis* ax : {&over, &mapping, &sync, &threads, &shards, &seed}) {
     if (!ax->points.empty()) axes->push_back(std::move(*ax));
   }
   return true;
@@ -335,20 +340,28 @@ std::optional<CampaignSpec> parse_campaign(std::string_view text,
   }
 
   if (spec.golden) {
-    // One calibration row per distinct (sync, threads) the expansion
-    // exercises, in first-appearance order.
-    std::vector<std::pair<SyncMode, std::int32_t>> seen;
+    // One calibration row per distinct (sync, threads, shards) the
+    // expansion exercises, in first-appearance order. The shards suffix
+    // only appears for sharded rows, keeping single-process row ids (the
+    // values artifacts and gates already pin) stable.
+    std::vector<std::tuple<SyncMode, std::int32_t, std::int32_t>> seen;
     for (const CampaignRun& r : spec.runs) {
-      const auto key = std::make_pair(r.spec.options.sync,
-                                      r.spec.options.executor_threads);
+      const auto key = std::make_tuple(r.spec.options.sync,
+                                       r.spec.options.executor_threads,
+                                       r.spec.options.executor_shards);
       if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
       seen.push_back(key);
       CampaignRun g;
       g.golden = true;
-      g.spec.options.sync = key.first;
-      g.spec.options.executor_threads = key.second;
-      g.id = std::string("golden[sync=") + sync_mode_name(key.first) +
-             ",threads=" + std::to_string(key.second) + "]";
+      g.spec.options.sync = std::get<0>(key);
+      g.spec.options.executor_threads = std::get<1>(key);
+      g.spec.options.executor_shards = std::get<2>(key);
+      g.id = std::string("golden[sync=") + sync_mode_name(std::get<0>(key)) +
+             ",threads=" + std::to_string(std::get<1>(key));
+      if (std::get<2>(key) > 1) {
+        g.id += ",shards=" + std::to_string(std::get<2>(key));
+      }
+      g.id += "]";
       spec.runs.push_back(std::move(g));
     }
   }

@@ -28,9 +28,13 @@ inline constexpr std::uint64_t kGoldenRingWindows = 2001ULL;
 
 /// Runs the calibration workload under the given executor configuration
 /// (threads <= 0 = sequential) and returns the trace checksum; `events` /
-/// `windows` (optional) receive the run totals.
+/// `windows` (optional) receive the run totals. shards > 1 runs the
+/// multi-process executor (src/shard) instead — same checksum contract:
+/// sequential, threaded, and sharded runs all produce the bit-identical
+/// trace, so every configuration returns kGoldenRingChecksum.
 std::uint64_t golden_ring_checksum(SyncMode sync, std::int32_t threads,
                                    std::uint64_t* events = nullptr,
-                                   std::uint64_t* windows = nullptr);
+                                   std::uint64_t* windows = nullptr,
+                                   std::int32_t shards = 1);
 
 }  // namespace massf

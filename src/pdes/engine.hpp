@@ -45,6 +45,10 @@ class Reader;
 class Writer;
 }  // namespace ckpt
 
+namespace shard {
+class ShardDriver;
+}  // namespace shard
+
 class Engine;
 
 /// Every hook the engine fires at a window boundary, installed as one
@@ -359,6 +363,13 @@ class Engine {
   bool restore_state(ckpt::Reader& reader);
 
  private:
+  /// The multi-process executor (src/shard) drives the same window
+  /// protocol as run()/run_threaded() over a subset of the LPs, splicing
+  /// remote arrivals into the outboxes so merge_lp_inbox assigns the
+  /// bit-identical sequence numbers. It reuses the private protocol steps
+  /// rather than duplicating them.
+  friend class shard::ShardDriver;
+
   struct Lp {
     std::unique_ptr<LogicalProcess> process;
     EventSched queue;

@@ -25,6 +25,7 @@
 #include "pdes/barrier.hpp"
 #include "pdes/engine.hpp"
 #include "util/check.hpp"
+#include "util/warn.hpp"
 
 namespace massf {
 
@@ -38,8 +39,17 @@ double elapsed_s(Clock::time_point from, Clock::time_point to) {
 
 RunStats Engine::run_threaded(std::int32_t num_threads) {
   MASSF_CHECK(num_threads >= 1);
+  const std::int32_t requested = num_threads;
   num_threads = std::min<std::int32_t>(num_threads,
                                        std::max<std::int32_t>(1, num_lps()));
+  if (num_threads < requested) {
+    warn(ErrorCategory::kConfig,
+         "run_threaded: " + std::to_string(requested) + " threads requested "
+         "for " + std::to_string(num_lps()) + " LPs; clamped to " +
+         std::to_string(num_threads) +
+         " (a thread with no claimable LP would only spin at the gates)");
+  }
+  warn_unknown_host_concurrency(std::thread::hardware_concurrency());
   if (num_threads == 1) {
     // One thread has nobody to synchronize with: run the sequential window
     // loop instead of paying three self-barrier arrivals per window. Only

@@ -1,0 +1,718 @@
+#include "shard/driver.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "ckpt/ckpt.hpp"
+#include "util/error.hpp"
+
+namespace massf::shard {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point from) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - from)
+          .count());
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// One event inside a kFrameBatch payload: the massf.ckpt.v1 migration
+// record (engine.cpp migrate_events) — lp is the frame's dst, seq is
+// assigned by the receiving merge.
+constexpr std::size_t kBatchEventBytes = 8 + 4 + 4 * 8;
+constexpr std::size_t kBatchHeaderBytes = 3 * 4;  // src, dst, count
+
+std::string shard_ckpt_path(const std::string& dir, std::int32_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".ckpt";
+}
+
+}  // namespace
+
+std::vector<std::int32_t> ShardDriver::initial_owners(
+    std::int32_t num_lps, std::int32_t num_shards) {
+  std::vector<std::int32_t> owners(static_cast<std::size_t>(num_lps), 0);
+  for (std::int32_t k = 0; k < num_shards; ++k) {
+    const std::int32_t lo = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(k) * num_lps / num_shards);
+    const std::int32_t hi = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(k + 1) * num_lps / num_shards);
+    for (std::int32_t i = lo; i < hi; ++i) owners[i] = k;
+  }
+  return owners;
+}
+
+ShardDriver::ShardDriver(Engine& engine, ShardShm& shm, WorkerOptions opts)
+    : engine_(engine), shm_(shm), opts_(std::move(opts)) {
+  const ShmHeader& hdr = shm_.header();
+  me_ = opts_.shard;
+  num_shards_ = static_cast<std::int32_t>(hdr.num_shards);
+  MASSF_ENFORCE(me_ >= 0 && me_ < num_shards_, ErrorCategory::kConfig,
+                "shard index " + std::to_string(me_) + " out of range for " +
+                    std::to_string(num_shards_) + " shards");
+  MASSF_ENFORCE(engine_.num_lps() == static_cast<LpId>(hdr.num_lps),
+                ErrorCategory::kConfig,
+                "workload built " + std::to_string(engine_.num_lps()) +
+                    " LPs but the shard segment was sized for " +
+                    std::to_string(hdr.num_lps));
+  MASSF_ENFORCE(num_shards_ <= engine_.num_lps(), ErrorCategory::kConfig,
+                "more shards than LPs");
+  MASSF_ENFORCE(engine_.probe_ == nullptr, ErrorCategory::kConfig,
+                "sharded execution does not support window probes (a probe "
+                "row is a whole-engine view no single shard can fill)");
+  MASSF_ENFORCE(engine_.opts_.load_bin <= 0, ErrorCategory::kConfig,
+                "sharded execution does not support per-LP load tracing");
+  for (const ShardMigration& m : opts_.migrations) {
+    MASSF_ENFORCE(m.window > 0 && m.lp >= 0 && m.lp < engine_.num_lps() &&
+                      m.to_shard >= 0 && m.to_shard < num_shards_,
+                  ErrorCategory::kConfig, "invalid shard migration entry");
+  }
+  owners_ = initial_owners(engine_.num_lps(), num_shards_);
+  owned_.clear();
+  for (LpId i = 0; i < engine_.num_lps(); ++i) {
+    if (owners_[static_cast<std::size_t>(i)] == me_) owned_.push_back(i);
+  }
+  window_done_.assign(static_cast<std::size_t>(num_shards_), 0);
+}
+
+SimTime ShardDriver::owned_floor() const {
+  SimTime floor = kSimTimeMax;
+  for (const LpId i : owned_) {
+    floor = std::min(floor,
+                     engine_.lps_[static_cast<std::size_t>(i)].queue.min_time());
+  }
+  return floor;
+}
+
+void ShardDriver::check_abort(const char* where) const {
+  if (shm_.aborted()) {
+    MASSF_THROW(ErrorCategory::kProtocolStall,
+                std::string("shard worker aborted by supervisor while ") +
+                    where);
+  }
+}
+
+void ShardDriver::publish(std::uint64_t epoch, SimTime floor,
+                          std::uint64_t max_wevents, bool stop) {
+  ControlSlot& s = slot(me_);
+  const std::size_t bank = epoch & 1;
+  s.floor[bank].store(floor, std::memory_order_relaxed);
+  s.max_window_events[bank].store(max_wevents, std::memory_order_relaxed);
+  s.stop[bank].store(stop ? 1 : 0, std::memory_order_relaxed);
+  s.epoch.store(epoch + 1, std::memory_order_release);
+}
+
+ShardDriver::Gather ShardDriver::gather(std::uint64_t epoch) {
+  const std::uint64_t want = epoch + 1;
+  const std::size_t bank = epoch & 1;
+  Gather g;
+  g.floor = kSimTimeMax;
+  for (std::int32_t k = 0; k < num_shards_; ++k) {
+    ControlSlot& s = slot(k);
+    if (s.epoch.load(std::memory_order_acquire) < want) {
+      ++control_waits_;
+      const auto t0 = Clock::now();
+      while (s.epoch.load(std::memory_order_acquire) < want) {
+        check_abort("waiting on the control page");
+        std::this_thread::yield();
+      }
+      control_wait_ns_ += elapsed_ns(t0);
+    }
+    g.floor = std::min(g.floor,
+                       static_cast<SimTime>(
+                           s.floor[bank].load(std::memory_order_relaxed)));
+    g.max_window_events =
+        std::max(g.max_window_events,
+                 s.max_window_events[bank].load(std::memory_order_relaxed));
+    g.stop = g.stop || s.stop[bank].load(std::memory_order_relaxed) != 0;
+  }
+  return g;
+}
+
+void ShardDriver::account_window(std::uint64_t global_max_wevents) {
+  // Engine::account_window over the owned subset, with the max taken from
+  // the gathered global value: cost >= 0 makes window_events -> busy
+  // monotone, so max(events)*cost is bit-identical to the sequential
+  // max-of-products.
+  Engine& e = engine_;
+  const double cost = e.opts_.cost_per_event_s;
+  for (const LpId i : owned_) {
+    auto& lp = e.lps_[static_cast<std::size_t>(i)];
+    e.stats_.busy_s[static_cast<std::size_t>(i)] +=
+        static_cast<double>(lp.window_events) * cost;
+    lp.window_events = 0;
+  }
+  e.stats_.modeled_wall_s +=
+      static_cast<double>(global_max_wevents) * cost + e.opts_.sync_cost_s;
+  e.stats_.modeled_sync_s += e.opts_.sync_cost_s;
+  ++e.stats_.num_windows;
+  e.guard_.windows.fetch_add(1, std::memory_order_relaxed);
+  maybe_kill(/*in_send=*/false);
+}
+
+void ShardDriver::maybe_kill(bool in_send) {
+  if (opts_.kill_after_windows == 0) return;
+  if (engine_.stats_.num_windows < opts_.kill_after_windows) return;
+  if (opts_.kill_in_send != in_send) return;
+  ::raise(SIGKILL);
+}
+
+void ShardDriver::push_frame(std::int32_t peer, std::uint8_t kind,
+                             const void* payload, std::uint32_t size,
+                             std::uint64_t epoch) {
+  ShmRing ring = shm_.ring(me_, peer);
+  if (!ring.try_push(kind, payload, size)) {
+    ++ring_stalls_;
+    const auto t0 = Clock::now();
+    for (;;) {
+      // Drain our own arrivals while blocked: peers may be wedged on a
+      // full ring toward us, and consuming breaks the cyclic backpressure.
+      drain_once(epoch);
+      if (ring.try_push(kind, payload, size)) break;
+      check_abort("pushing a ring frame");
+      std::this_thread::yield();
+    }
+    ring_wait_ns_ += elapsed_ns(t0);
+  }
+  ++frames_;
+  if (kind == kFrameBatch) {
+    batch_bytes_ += size;
+    maybe_kill(/*in_send=*/true);
+  }
+}
+
+void ShardDriver::handle_batch(const std::vector<std::uint8_t>& payload) {
+  ckpt::Reader r(payload.data(), payload.size());
+  const LpId src = r.i32();
+  const LpId dst = r.i32();
+  const std::uint32_t count = r.u32();
+  MASSF_ENFORCE(r.ok() && src >= 0 && src < engine_.num_lps() && dst >= 0 &&
+                    dst < engine_.num_lps() &&
+                    payload.size() ==
+                        kBatchHeaderBytes + count * kBatchEventBytes,
+                ErrorCategory::kInternal, "malformed cross-shard batch frame");
+  // Splice into the *sending* LP's local outbox in send order: the
+  // unchanged Engine::merge_lp_inbox then walks sources in the same order
+  // as sequential and assigns bit-identical sequence numbers.
+  Outbox& outbox = engine_.lps_[static_cast<std::size_t>(src)].outbox;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    Event ev;
+    ev.time = r.i64();
+    ev.type = r.i32();
+    ev.a = r.u64();
+    ev.b = r.u64();
+    ev.c = r.u64();
+    ev.d = r.u64();
+    ev.lp = dst;
+    outbox.add(ev);
+  }
+  MASSF_CHECK(r.done());
+}
+
+bool ShardDriver::drain_once(std::uint64_t epoch) {
+  bool any = false;
+  std::uint8_t kind = 0;
+  std::vector<std::uint8_t> payload;
+  for (std::int32_t p = 0; p < num_shards_; ++p) {
+    if (p == me_) continue;
+    ShmRing ring = shm_.ring(p, me_);
+    while (ring.try_pop(&kind, &payload)) {
+      any = true;
+      if (kind == kFrameBatch) {
+        handle_batch(payload);
+      } else if (kind == kFrameWindowEnd) {
+        ckpt::Reader r(payload.data(), payload.size());
+        const std::uint64_t peer_epoch = r.u64();
+        MASSF_ENFORCE(r.done() && peer_epoch == epoch,
+                      ErrorCategory::kInternal,
+                      "cross-shard window-end for epoch " +
+                          std::to_string(peer_epoch) + " arrived in epoch " +
+                          std::to_string(epoch));
+        window_done_[static_cast<std::size_t>(p)] = 1;
+        // A closed channel has no frames behind the close this epoch.
+        break;
+      } else {
+        MASSF_THROW(ErrorCategory::kInternal,
+                    "unexpected ring frame kind " + std::to_string(kind) +
+                        " outside a migration boundary");
+      }
+    }
+  }
+  return any;
+}
+
+std::uint64_t ShardDriver::exchange(std::uint64_t epoch) {
+  Engine& e = engine_;
+  std::uint64_t max_wevents = 0;
+  for (const LpId i : owned_) {
+    const auto& lp = e.lps_[static_cast<std::size_t>(i)];
+    max_wevents = std::max(max_wevents, lp.window_events);
+    processed_events_ += lp.window_events;
+  }
+
+  std::fill(window_done_.begin(), window_done_.end(), 0);
+  window_done_[static_cast<std::size_t>(me_)] = 1;
+
+  // Send: owned sources in id order, each bucket in (sorted) dst order,
+  // bucket contents in send order — the same (src id, send order) the
+  // merge consumes.
+  ckpt::Writer w;
+  for (const LpId src : owned_) {
+    const Outbox& outbox = e.lps_[static_cast<std::size_t>(src)].outbox;
+    if (outbox.total() == 0) continue;
+    for (const LpId dst : outbox.dsts()) {
+      const std::int32_t peer = owners_[static_cast<std::size_t>(dst)];
+      if (peer == me_) continue;
+      const std::vector<Event>& events = *outbox.find(dst);
+      const std::size_t max_per_frame =
+          (shm_.ring(me_, peer).max_frame_payload() - kBatchHeaderBytes) /
+          kBatchEventBytes;
+      std::size_t sent = 0;
+      while (sent < events.size()) {
+        const std::size_t n = std::min(max_per_frame, events.size() - sent);
+        w = ckpt::Writer();
+        w.u32(static_cast<std::uint32_t>(src));
+        w.u32(static_cast<std::uint32_t>(dst));
+        w.u32(static_cast<std::uint32_t>(n));
+        for (std::size_t k = 0; k < n; ++k) {
+          const Event& ev = events[sent + k];
+          w.i64(ev.time);
+          w.i32(ev.type);
+          w.u64(ev.a);
+          w.u64(ev.b);
+          w.u64(ev.c);
+          w.u64(ev.d);
+        }
+        push_frame(peer, kFrameBatch, w.buffer().data(),
+                   static_cast<std::uint32_t>(w.size()), epoch);
+        cross_shard_events_ += n;
+        sent += n;
+      }
+    }
+  }
+  // Null message: close every outgoing channel for this epoch.
+  for (std::int32_t p = 0; p < num_shards_; ++p) {
+    if (p == me_) continue;
+    w = ckpt::Writer();
+    w.u64(epoch);
+    push_frame(p, kFrameWindowEnd, w.buffer().data(),
+               static_cast<std::uint32_t>(w.size()), epoch);
+  }
+  // Drain until every peer's window-end arrived.
+  for (;;) {
+    bool all = true;
+    for (const std::uint8_t d : window_done_) all = all && d != 0;
+    if (all) break;
+    if (!drain_once(epoch)) {
+      check_abort("draining cross-shard batches");
+      std::this_thread::yield();
+    }
+  }
+  return max_wevents;
+}
+
+void ShardDriver::send_migration(const ShardMigration& m) {
+  Engine& e = engine_;
+  auto& lp = e.lps_[static_cast<std::size_t>(m.lp)];
+  ckpt::Writer w;
+  w.u32(static_cast<std::uint32_t>(m.lp));
+  w.u64(lp.next_seq);
+  w.u64(lp.events);
+  w.f64(e.stats_.busy_s[static_cast<std::size_t>(m.lp)]);
+  const std::vector<Event> pending = lp.queue.sorted_events();
+  w.u64(pending.size());
+  for (const Event& ev : pending) {
+    w.i64(ev.time);
+    w.u64(ev.seq);
+    w.i32(ev.lp);
+    w.i32(ev.type);
+    w.u64(ev.a);
+    w.u64(ev.b);
+    w.u64(ev.c);
+    w.u64(ev.d);
+  }
+  lp.process->save(w);
+  ShmRing ring = shm_.ring(me_, m.to_shard);
+  MASSF_ENFORCE(w.size() <= ring.max_frame_payload(),
+                ErrorCategory::kInternal,
+                "migrating LP state exceeds one ring frame");
+  // Between epochs the rings are quiet (exchange drains every batch
+  // through the window-end), so this cannot deadlock and must not drain —
+  // any incoming migration frame belongs to a later list entry.
+  if (!ring.try_push(kFrameMigrate, w.buffer().data(),
+                     static_cast<std::uint32_t>(w.size()))) {
+    ++ring_stalls_;
+    const auto t0 = Clock::now();
+    while (!ring.try_push(kFrameMigrate, w.buffer().data(),
+                          static_cast<std::uint32_t>(w.size()))) {
+      check_abort("sending a migrating LP");
+      std::this_thread::yield();
+    }
+    ring_wait_ns_ += elapsed_ns(t0);
+  }
+  ++frames_;
+  batch_bytes_ += w.size();
+}
+
+void ShardDriver::recv_migration(const ShardMigration& m, std::int32_t from) {
+  ShmRing ring = shm_.ring(from, me_);
+  std::uint8_t kind = 0;
+  std::vector<std::uint8_t> payload;
+  if (!ring.try_pop(&kind, &payload)) {
+    ++ring_stalls_;
+    const auto t0 = Clock::now();
+    while (!ring.try_pop(&kind, &payload)) {
+      check_abort("waiting for a migrating LP");
+      std::this_thread::yield();
+    }
+    ring_wait_ns_ += elapsed_ns(t0);
+  }
+  MASSF_ENFORCE(kind == kFrameMigrate, ErrorCategory::kInternal,
+                "expected a migration frame, got kind " +
+                    std::to_string(kind));
+  ckpt::Reader r(payload.data(), payload.size());
+  const LpId id = r.i32();
+  MASSF_ENFORCE(r.ok() && id == m.lp, ErrorCategory::kInternal,
+                "migration frame for the wrong LP");
+  Engine& e = engine_;
+  auto& lp = e.lps_[static_cast<std::size_t>(id)];
+  lp.next_seq = r.u64();
+  lp.events = r.u64();
+  e.stats_.busy_s[static_cast<std::size_t>(id)] = r.f64();
+  const std::uint64_t pending = r.u64();
+  lp.queue.clear();
+  for (std::uint64_t k = 0; k < pending; ++k) {
+    Event ev;
+    ev.time = r.i64();
+    ev.seq = r.u64();
+    ev.lp = r.i32();
+    ev.type = r.i32();
+    ev.a = r.u64();
+    ev.b = r.u64();
+    ev.c = r.u64();
+    ev.d = r.u64();
+    lp.queue.push(ev);
+  }
+  lp.window_events = 0;
+  MASSF_ENFORCE(lp.process->load(r) && r.done(), ErrorCategory::kInternal,
+                "migrating LP state failed to parse");
+}
+
+void ShardDriver::apply_migrations() {
+  const std::uint64_t window = engine_.stats_.num_windows;
+  for (const ShardMigration& m : opts_.migrations) {
+    if (m.window != window) continue;
+    const std::int32_t from = owners_[static_cast<std::size_t>(m.lp)];
+    if (from == m.to_shard) continue;
+    if (from == me_) {
+      send_migration(m);
+    } else if (m.to_shard == me_) {
+      recv_migration(m, from);
+    }
+    owners_[static_cast<std::size_t>(m.lp)] = m.to_shard;
+  }
+  // Rebuild the owned set if anything moved at this boundary.
+  bool mine_changed = false;
+  for (const ShardMigration& m : opts_.migrations) {
+    mine_changed = mine_changed || m.window == window;
+  }
+  if (mine_changed) {
+    owned_.clear();
+    for (LpId i = 0; i < engine_.num_lps(); ++i) {
+      if (owners_[static_cast<std::size_t>(i)] == me_) owned_.push_back(i);
+    }
+  }
+}
+
+void ShardDriver::write_shard_ckpt(SimTime /*floor*/) {
+  if (opts_.ckpt_dir.empty()) return;
+  Engine& e = engine_;
+  ckpt::Checkpoint c;
+  ckpt::Writer& meta = c.add_section("shard.meta");
+  meta.u32(static_cast<std::uint32_t>(num_shards_));
+  meta.u32(static_cast<std::uint32_t>(me_));
+  meta.u32(static_cast<std::uint32_t>(e.num_lps()));
+  meta.i64(e.opts_.lookahead);
+  meta.i64(e.opts_.end_time);
+  meta.u64(e.stats_.num_windows);
+  meta.u64(e.last_ckpt_window_);
+  meta.f64(e.stats_.modeled_wall_s);
+  meta.f64(e.stats_.modeled_sync_s);
+  meta.f64(e.stats_.modeled_migrate_s);
+  meta.u64(e.stats_.cross_lp_events);   // this shard's partial
+  meta.u64(e.stats_.merge_batches);     // this shard's partial
+  meta.u32(static_cast<std::uint32_t>(owned_.size()));
+  for (const LpId i : owned_) meta.u32(static_cast<std::uint32_t>(i));
+
+  ckpt::Writer& body = c.add_section("shard.lps");
+  for (const LpId i : owned_) {
+    const auto& lp = e.lps_[static_cast<std::size_t>(i)];
+    body.u32(static_cast<std::uint32_t>(i));
+    body.u64(lp.next_seq);
+    body.u64(lp.events);
+    body.f64(e.stats_.busy_s[static_cast<std::size_t>(i)]);
+    const std::vector<Event> pending = lp.queue.sorted_events();
+    body.u64(pending.size());
+    for (const Event& ev : pending) {
+      body.i64(ev.time);
+      body.u64(ev.seq);
+      body.i32(ev.lp);
+      body.i32(ev.type);
+      body.u64(ev.a);
+      body.u64(ev.b);
+      body.u64(ev.c);
+      body.u64(ev.d);
+    }
+    lp.process->save(body);
+  }
+  std::string error;
+  const std::string path = shard_ckpt_path(opts_.ckpt_dir, me_);
+  if (!c.write_file(path, &error)) {
+    MASSF_THROW(ErrorCategory::kIo,
+                "cannot write shard checkpoint " + path + ": " + error);
+  }
+}
+
+void ShardDriver::write_results(SimTime floor) {
+  Engine& e = engine_;
+  for (const LpId i : owned_) {
+    LpCell& cell = shm_.lp(i);
+    cell.events.store(e.lps_[static_cast<std::size_t>(i)].events,
+                      std::memory_order_relaxed);
+    cell.busy_bits.store(
+        double_bits(e.stats_.busy_s[static_cast<std::size_t>(i)]),
+        std::memory_order_relaxed);
+    cell.checksum.store(opts_.lp_checksum ? opts_.lp_checksum(i) : 0,
+                        std::memory_order_relaxed);
+  }
+  ControlSlot& s = slot(me_);
+  s.fin_num_windows.store(e.stats_.num_windows, std::memory_order_relaxed);
+  s.fin_wall_bits.store(double_bits(e.stats_.modeled_wall_s),
+                        std::memory_order_relaxed);
+  s.fin_sync_bits.store(double_bits(e.stats_.modeled_sync_s),
+                        std::memory_order_relaxed);
+  s.fin_migrate_bits.store(double_bits(e.stats_.modeled_migrate_s),
+                           std::memory_order_relaxed);
+  s.fin_floor.store(floor, std::memory_order_relaxed);
+  s.fin_cross_events.store(e.stats_.cross_lp_events,
+                           std::memory_order_relaxed);
+  s.fin_merge_batches.store(e.stats_.merge_batches, std::memory_order_relaxed);
+  s.ring_stalls.store(ring_stalls_, std::memory_order_relaxed);
+  s.ring_wait_ns.store(ring_wait_ns_, std::memory_order_relaxed);
+  s.control_waits.store(control_waits_, std::memory_order_relaxed);
+  s.control_wait_ns.store(control_wait_ns_, std::memory_order_relaxed);
+  s.batch_bytes.store(batch_bytes_, std::memory_order_relaxed);
+  s.cross_shard_events.store(cross_shard_events_, std::memory_order_relaxed);
+  s.frames.store(frames_, std::memory_order_relaxed);
+}
+
+void ShardDriver::run() {
+  Engine& e = engine_;
+  e.begin_run();
+  e.run_threads_ = 0;
+  if (opts_.ckpt_every > 0 && !opts_.ckpt_dir.empty()) {
+    // The driver owns the ckpt stage in sharded mode: each worker writes
+    // its shard file at the same boundary (num_windows advances in
+    // lockstep, so maybe_checkpoint fires in every worker or none).
+    e.hooks_.ckpt_every = opts_.ckpt_every;
+    e.hooks_.ckpt = [this](Engine&, SimTime floor) {
+      write_shard_ckpt(floor);
+    };
+  }
+  ControlSlot& s = slot(me_);
+  s.pid.store(static_cast<std::int32_t>(::getpid()),
+              std::memory_order_relaxed);
+  s.state.store(static_cast<std::uint32_t>(WorkerState::kRunning),
+                std::memory_order_release);
+
+  SimTime gfloor = 0;
+  std::uint64_t prev_max_wevents = 0;
+  try {
+    for (std::uint64_t epoch = 0;; ++epoch) {
+      publish(epoch, owned_floor(), prev_max_wevents, e.stop_requested());
+      const Gather g = gather(epoch);
+      if (epoch > 0) account_window(g.max_window_events);
+      gfloor = g.floor;
+      // Same order as the sequential loop top: the previous window is
+      // accounted before the exit conditions are evaluated.
+      if (gfloor >= e.opts_.end_time || gfloor == kSimTimeMax || g.stop) {
+        break;
+      }
+      apply_migrations();
+      if (!e.open_window_boundary(gfloor)) break;  // checkpoint-then-exit
+      for (const LpId i : owned_) e.process_lp_window(i);
+      prev_max_wevents = exchange(epoch);
+      for (const LpId d : owned_) e.merge_lp_inbox(d);
+      // Owned sources' outboxes hold *all* their sends (local and
+      // cross-shard), so tallying them partitions the sequential
+      // cross_lp_events/merge_batches totals exactly across shards.
+      for (LpId i = 0; i < e.num_lps(); ++i) {
+        auto& lp = e.lps_[static_cast<std::size_t>(i)];
+        if (lp.outbox.total() == 0) continue;
+        if (owners_[static_cast<std::size_t>(i)] == me_) {
+          e.stats_.cross_lp_events += lp.outbox.total();
+          e.stats_.merge_batches += lp.outbox.batches();
+        }
+        lp.outbox.clear();
+      }
+      s.heartbeat_windows.store(e.stats_.num_windows,
+                                std::memory_order_relaxed);
+      s.heartbeat_events.store(processed_events_, std::memory_order_relaxed);
+    }
+  } catch (...) {
+    e.record_run_error();
+  }
+  e.finish_run(gfloor);
+  e.rethrow_run_error();
+  write_results(gfloor);
+}
+
+bool ShardDriver::restore_from_shards(Engine& engine, const std::string& dir,
+                                      std::int32_t num_shards,
+                                      std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  Engine& e = engine;
+  std::uint64_t num_windows = 0;
+  std::uint64_t last_ckpt_window = 0;
+  double wall = 0, sync = 0, migrate = 0;
+  std::uint64_t cross = 0, merge = 0;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(e.num_lps()), 0);
+
+  // Stage scalars/LP state into the engine only after the whole set
+  // parses? Restoring in place is fine: a failed restore returns false
+  // and the caller rebuilds the workload from scratch.
+  for (std::int32_t k = 0; k < num_shards; ++k) {
+    const std::string path = shard_ckpt_path(dir, k);
+    std::string io_error;
+    auto c = ckpt::Checkpoint::read_file(path, &io_error);
+    if (!c) return fail("cannot read " + path + ": " + io_error);
+    auto meta = c->section("shard.meta");
+    auto body = c->section("shard.lps");
+    if (!meta || !body) return fail(path + ": missing shard sections");
+    if (meta->u32() != static_cast<std::uint32_t>(num_shards) ||
+        meta->u32() != static_cast<std::uint32_t>(k) ||
+        meta->u32() != static_cast<std::uint32_t>(e.num_lps()) ||
+        meta->i64() != e.opts_.lookahead || meta->i64() != e.opts_.end_time) {
+      return fail(path + ": shape mismatch with this workload");
+    }
+    const std::uint64_t w = meta->u64();
+    const std::uint64_t lw = meta->u64();
+    if (k == 0) {
+      num_windows = w;
+      last_ckpt_window = lw;
+      wall = meta->f64();
+      sync = meta->f64();
+      migrate = meta->f64();
+    } else {
+      if (w != num_windows || lw != last_ckpt_window) {
+        return fail(path + ": shard files are from different boundaries");
+      }
+      meta->f64();
+      meta->f64();
+      meta->f64();
+    }
+    cross += meta->u64();
+    merge += meta->u64();
+    const std::uint32_t owned = meta->u32();
+    if (!meta->ok()) return fail(path + ": truncated meta");
+    for (std::uint32_t j = 0; j < owned; ++j) meta->u32();
+
+    if (k == 0) {
+      e.stats_ = RunStats{};
+      e.stats_.events_per_lp.assign(e.lps_.size(), 0);
+      e.stats_.busy_s.assign(e.lps_.size(), 0.0);
+    }
+    for (std::uint32_t j = 0; j < owned; ++j) {
+      const std::uint32_t id = body->u32();
+      if (!body->ok() || id >= static_cast<std::uint32_t>(e.num_lps()) ||
+          seen[id] != 0) {
+        return fail(path + ": bad LP record");
+      }
+      seen[id] = 1;
+      auto& lp = e.lps_[id];
+      lp.next_seq = body->u64();
+      lp.events = body->u64();
+      e.stats_.busy_s[id] = body->f64();
+      const std::uint64_t pending = body->u64();
+      if (!body->ok() || pending > (1ULL << 40)) {
+        return fail(path + ": bad pending count");
+      }
+      lp.queue.clear();
+      for (std::uint64_t p = 0; p < pending; ++p) {
+        Event ev;
+        ev.time = body->i64();
+        ev.seq = body->u64();
+        ev.lp = body->i32();
+        ev.type = body->i32();
+        ev.a = body->u64();
+        ev.b = body->u64();
+        ev.c = body->u64();
+        ev.d = body->u64();
+        if (!body->ok()) return fail(path + ": truncated pending events");
+        lp.queue.push(ev);
+      }
+      lp.window_events = 0;
+      lp.outbox.clear();
+      if (!lp.process->load(*body)) return fail(path + ": LP state failed");
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] == 0) {
+      return fail("LP " + std::to_string(i) + " missing from shard set");
+    }
+  }
+  e.stats_.num_windows = num_windows;
+  e.stats_.modeled_wall_s = wall;
+  e.stats_.modeled_sync_s = sync;
+  e.stats_.modeled_migrate_s = migrate;
+  e.stats_.cross_lp_events = cross;
+  e.stats_.merge_batches = merge;
+  e.last_ckpt_window_ = last_ckpt_window;
+  e.restored_ = true;
+  e.skip_boundary_hooks_ = num_windows > 0;
+  return true;
+}
+
+int run_worker(Engine& engine, ShardShm& shm, const WorkerOptions& opts) {
+  ControlSlot& s = shm.slot(opts.shard);
+  try {
+    ShardDriver driver(engine, shm, opts);
+    driver.run();
+    s.state.store(static_cast<std::uint32_t>(WorkerState::kDone),
+                  std::memory_order_release);
+    return 0;
+  } catch (const EngineError& err) {
+    s.error_category.store(static_cast<std::uint32_t>(err.category()),
+                           std::memory_order_relaxed);
+    std::strncpy(s.error_message, err.what(), sizeof(s.error_message) - 1);
+    s.error_message[sizeof(s.error_message) - 1] = '\0';
+    s.state.store(static_cast<std::uint32_t>(WorkerState::kError),
+                  std::memory_order_release);
+    return 3;
+  } catch (const std::exception& err) {
+    s.error_category.store(
+        static_cast<std::uint32_t>(ErrorCategory::kInternal),
+        std::memory_order_relaxed);
+    std::strncpy(s.error_message, err.what(), sizeof(s.error_message) - 1);
+    s.error_message[sizeof(s.error_message) - 1] = '\0';
+    s.state.store(static_cast<std::uint32_t>(WorkerState::kError),
+                  std::memory_order_release);
+    return 3;
+  }
+}
+
+}  // namespace massf::shard

@@ -1,0 +1,145 @@
+// Per-worker side of the multi-process executor: drives the engine's own
+// window protocol (Engine is a friend) over this shard's LP subset, with
+// the cross-shard legs of the protocol carried by shm.hpp:
+//
+//   publish   this shard's local event floor, previous window's max
+//             per-LP event count, and stop flag into its ControlSlot
+//             (the per-epoch channel clock);
+//   gather    wait for every shard's slot to reach the epoch, fold the
+//             global floor / global max / global stop;
+//   account   the previous window, using the *global* max — bit-identical
+//             modeled time to the sequential account_window();
+//   migrate   apply any ownership transfers due at this boundary (LP
+//             state travels as a kFrameMigrate checkpoint record);
+//   boundary  Engine::open_window_boundary — barrier hooks, rebalance,
+//             ckpt fire at this cross-process quiescent point, in every
+//             worker, on identical state;
+//   process   owned LPs only (Engine::process_lp_window);
+//   exchange  stream each owned (src,dst) outbox bucket whose dst is
+//             remote as kFrameBatch frames, close every peer ring with a
+//             kFrameWindowEnd null message, then drain incoming rings
+//             until every peer's window-end arrives — remote arrivals are
+//             spliced into the *sending LP's* local outbox in send order,
+//             so the unchanged merge assigns bit-identical seqs;
+//   merge     owned destinations only (Engine::merge_lp_inbox).
+//
+// Determinism: every worker builds the full engine (same LPs, channels,
+// hooks) from the same workload fn, so injected events, hook firings and
+// stop decisions replay identically everywhere; only the owned subset is
+// ever processed, and each LP is owned by exactly one shard per window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pdes/engine.hpp"
+#include "shard/shm.hpp"
+
+namespace massf::shard {
+
+/// One scheduled ownership transfer: after `window` completed windows,
+/// `lp` moves to `to_shard`. Part of the shared run configuration — every
+/// worker applies the same list at the same boundary.
+struct ShardMigration {
+  std::uint64_t window = 0;
+  LpId lp = 0;
+  std::int32_t to_shard = 0;
+};
+
+struct WorkerOptions {
+  std::int32_t shard = 0;
+  /// Per-shard checkpointing: every `ckpt_every` windows each worker
+  /// writes <ckpt_dir>/shard-<k>.ckpt (restore_from_shards() reassembles
+  /// a single-process engine from the set — the guard ladder's recovery
+  /// path). 0 = off.
+  std::uint64_t ckpt_every = 0;
+  std::string ckpt_dir;
+  std::vector<ShardMigration> migrations;
+  /// Per-LP result fold published to the shm cells at finish (e.g. the
+  /// golden ring's event-trace checksum). Null = cells stay 0.
+  std::function<std::uint64_t(LpId)> lp_checksum;
+  // Chaos hooks for the crash-recovery tests: after `kill_after_windows`
+  // accounted windows this worker SIGKILLs itself — immediately, or (with
+  // kill_in_send) one frame into its next batch exchange, leaving a
+  // half-streamed window in the ring.
+  std::uint64_t kill_after_windows = 0;
+  bool kill_in_send = false;
+};
+
+class ShardDriver {
+ public:
+  /// The engine must be fully built (all LPs), unstarted, with no window
+  /// probe and no load tracing (both are whole-engine views a shard
+  /// cannot fill). Throws EngineError(kConfig) otherwise.
+  ShardDriver(Engine& engine, ShardShm& shm, WorkerOptions opts);
+
+  /// Runs this worker's share to completion and publishes results into
+  /// the shm cells/slot. Throws EngineError on failure (the caller —
+  /// run_worker — records it into the slot).
+  void run();
+
+  /// Initial contiguous block partition: owners[lp] for every LP.
+  static std::vector<std::int32_t> initial_owners(std::int32_t num_lps,
+                                                  std::int32_t num_shards);
+
+  /// Reassembles a full engine from the per-shard checkpoint set written
+  /// by the workers' ckpt stage. The engine must be freshly built from
+  /// the same workload. Returns false (with *error) when files are
+  /// missing, inconsistent, or shaped wrong; on success the next run()
+  /// resumes from the checkpointed boundary.
+  static bool restore_from_shards(Engine& engine, const std::string& dir,
+                                  std::int32_t num_shards, std::string* error);
+
+ private:
+  struct Gather {
+    SimTime floor = 0;
+    std::uint64_t max_window_events = 0;
+    bool stop = false;
+  };
+
+  ControlSlot& slot(std::int32_t k) const { return shm_.slot(k); }
+  SimTime owned_floor() const;
+  void publish(std::uint64_t epoch, SimTime floor, std::uint64_t max_wevents,
+               bool stop);
+  Gather gather(std::uint64_t epoch);
+  void account_window(std::uint64_t global_max_wevents);
+  void apply_migrations();
+  void send_migration(const ShardMigration& m);
+  void recv_migration(const ShardMigration& m, std::int32_t from);
+  std::uint64_t exchange(std::uint64_t epoch);  // returns max owned wevents
+  void push_frame(std::int32_t peer, std::uint8_t kind, const void* payload,
+                  std::uint32_t size, std::uint64_t epoch);
+  bool drain_once(std::uint64_t epoch);
+  void handle_batch(const std::vector<std::uint8_t>& payload);
+  void write_shard_ckpt(SimTime floor);
+  void write_results(SimTime floor);
+  void check_abort(const char* where) const;
+  void maybe_kill(bool in_send);
+
+  Engine& engine_;
+  ShardShm& shm_;
+  WorkerOptions opts_;
+  std::int32_t me_ = 0;
+  std::int32_t num_shards_ = 1;
+  std::vector<std::int32_t> owners_;
+  std::vector<LpId> owned_;
+  std::vector<std::uint8_t> window_done_;  // per-peer, this epoch
+  // Transport tallies, flushed to the slot at finish.
+  std::uint64_t ring_stalls_ = 0;
+  std::uint64_t ring_wait_ns_ = 0;
+  std::uint64_t control_waits_ = 0;
+  std::uint64_t control_wait_ns_ = 0;
+  std::uint64_t batch_bytes_ = 0;
+  std::uint64_t cross_shard_events_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t processed_events_ = 0;
+};
+
+/// Worker-process entry (fork or exec mode): runs the driver and records
+/// structured errors into the control slot. Returns the process exit
+/// code (0 ok, 3 EngineError).
+int run_worker(Engine& engine, ShardShm& shm, const WorkerOptions& opts);
+
+}  // namespace massf::shard

@@ -1,0 +1,149 @@
+// Lock-free SPSC byte ring over shared memory — the cross-shard wire.
+//
+// One ring per directed shard pair (shm.hpp lays them out), each with
+// exactly one producer (the source shard) and one consumer (the
+// destination shard), so a pair of monotone cursors is the whole
+// synchronization story: `tail` counts bytes published (producer-owned),
+// `head` counts bytes consumed (consumer-owned). The producer writes the
+// frame bytes first and advances `tail` with a release store; the
+// consumer's acquire load of `tail` therefore never exposes a torn or
+// half-written frame. Symmetrically the consumer releases `head` only
+// after copying the frame out, so the producer never overwrites bytes
+// still being read.
+//
+// Frame format (little-endian, byte-addressed, wraps freely across the
+// ring end via two-part memcpy):
+//
+//   u32 payload_size | u8 kind | payload bytes
+//
+// Kinds (driver.cpp): kFrameBatch — one (src,dst) outbox bucket chunk,
+// payload framed as massf.ckpt.v1 event records; kFrameWindowEnd — the
+// null message closing an epoch on this channel; kFrameMigrate — an LP's
+// checkpoint-serialized state moving between shards.
+//
+// Frames are capped at half the capacity so a single frame can never
+// deadlock an empty ring; callers chunk larger batches.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace massf::shard {
+
+inline constexpr std::uint8_t kFrameBatch = 1;
+inline constexpr std::uint8_t kFrameWindowEnd = 2;
+inline constexpr std::uint8_t kFrameMigrate = 3;
+
+struct alignas(64) RingHeader {
+  std::atomic<std::uint64_t> head;  // bytes consumed (consumer-owned)
+  char pad0[56];
+  std::atomic<std::uint64_t> tail;  // bytes published (producer-owned)
+  char pad1[56];
+  std::uint64_t capacity;  // data bytes, fixed at create
+  char pad2[56];
+};
+static_assert(sizeof(RingHeader) == 192, "cursors must not share a line");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-memory cursors must be lock-free across processes");
+
+/// Non-owning view; the memory lives in the ShardShm mapping.
+class ShmRing {
+ public:
+  static constexpr std::size_t kFrameOverhead = 5;  // u32 size + u8 kind
+
+  static std::size_t bytes_for(std::size_t capacity) {
+    return sizeof(RingHeader) + capacity;
+  }
+
+  /// Initializes a fresh ring in `mem` (bytes_for(capacity) bytes).
+  static ShmRing create(void* mem, std::size_t capacity) {
+    auto* hdr = new (mem) RingHeader;
+    hdr->head.store(0, std::memory_order_relaxed);
+    hdr->tail.store(0, std::memory_order_relaxed);
+    hdr->capacity = capacity;
+    return attach(mem);
+  }
+
+  /// Views a ring previously initialized by create() (same or another
+  /// process — RingHeader is standard-layout and position-independent).
+  static ShmRing attach(void* mem) {
+    ShmRing r;
+    r.hdr_ = static_cast<RingHeader*>(mem);
+    r.data_ = static_cast<std::uint8_t*>(mem) + sizeof(RingHeader);
+    return r;
+  }
+
+  std::size_t capacity() const { return hdr_->capacity; }
+
+  std::size_t used() const {
+    return hdr_->tail.load(std::memory_order_relaxed) -
+           hdr_->head.load(std::memory_order_relaxed);
+  }
+
+  /// Largest payload a single frame may carry on this ring.
+  std::size_t max_frame_payload() const {
+    return hdr_->capacity / 2 - kFrameOverhead;
+  }
+
+  /// Producer side. False when the frame does not currently fit.
+  bool try_push(std::uint8_t kind, const void* payload, std::uint32_t size) {
+    const std::uint64_t cap = hdr_->capacity;
+    const std::uint64_t need = kFrameOverhead + size;
+    MASSF_CHECK(need <= cap / 2);
+    const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = hdr_->head.load(std::memory_order_acquire);
+    if (cap - (tail - head) < need) return false;
+    copy_in(tail, &size, sizeof(size));
+    copy_in(tail + sizeof(size), &kind, 1);
+    if (size > 0) copy_in(tail + kFrameOverhead, payload, size);
+    hdr_->tail.store(tail + need, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(std::uint8_t* kind, std::vector<std::uint8_t>* payload) {
+    const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    std::uint32_t size = 0;
+    copy_out(head, &size, sizeof(size));
+    copy_out(head + sizeof(size), kind, 1);
+    payload->resize(size);
+    if (size > 0) copy_out(head + kFrameOverhead, payload->data(), size);
+    hdr_->head.store(head + kFrameOverhead + size, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  void copy_in(std::uint64_t pos, const void* src, std::size_t n) {
+    const std::uint64_t cap = hdr_->capacity;
+    const std::uint64_t off = pos % cap;
+    const std::size_t first = std::min<std::size_t>(n, cap - off);
+    std::memcpy(data_ + off, src, first);
+    if (n > first) {
+      std::memcpy(data_, static_cast<const std::uint8_t*>(src) + first,
+                  n - first);
+    }
+  }
+
+  void copy_out(std::uint64_t pos, void* dst, std::size_t n) const {
+    const std::uint64_t cap = hdr_->capacity;
+    const std::uint64_t off = pos % cap;
+    const std::size_t first = std::min<std::size_t>(n, cap - off);
+    std::memcpy(dst, data_ + off, first);
+    if (n > first) {
+      std::memcpy(static_cast<std::uint8_t*>(dst) + first, data_, n - first);
+    }
+  }
+
+  RingHeader* hdr_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+};
+
+}  // namespace massf::shard

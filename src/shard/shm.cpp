@@ -1,0 +1,192 @@
+#include "shard/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace massf::shard {
+namespace {
+
+std::size_t slots_offset() { return sizeof(ShmHeader); }
+
+std::size_t cells_offset(std::uint32_t num_shards) {
+  return slots_offset() + sizeof(ControlSlot) * num_shards;
+}
+
+std::size_t rings_offset(std::uint32_t num_shards, std::uint32_t num_lps) {
+  // Cells end unaligned to 64; rings carry alignas(64) headers, so round up.
+  const std::size_t end =
+      cells_offset(num_shards) + sizeof(LpCell) * num_lps;
+  return (end + 63) / 64 * 64;
+}
+
+}  // namespace
+
+std::size_t ShardShm::bytes_for(std::uint32_t num_shards,
+                                std::uint32_t num_lps,
+                                std::uint64_t ring_capacity) {
+  // The full N*N ring grid is laid out (diagonal unused) so ring(i,j)
+  // addressing stays a multiply, not a triangular index.
+  return rings_offset(num_shards, num_lps) +
+         static_cast<std::size_t>(num_shards) * num_shards *
+             ShmRing::bytes_for(ring_capacity);
+}
+
+void ShardShm::init_layout(std::uint32_t num_shards, std::uint32_t num_lps,
+                           std::uint64_t ring_capacity) {
+  auto* hdr = new (mem_) ShmHeader;
+  std::memset(static_cast<char*>(mem_) + sizeof(ShmHeader), 0,
+              size_ - sizeof(ShmHeader));
+  hdr->magic = kShmMagic;
+  hdr->version = kShmVersion;
+  hdr->num_shards = num_shards;
+  hdr->num_lps = num_lps;
+  hdr->ring_capacity = ring_capacity;
+  hdr->abort.store(0, std::memory_order_relaxed);
+  for (std::uint32_t k = 0; k < num_shards; ++k) {
+    new (static_cast<char*>(mem_) + slots_offset() + sizeof(ControlSlot) * k)
+        ControlSlot{};
+  }
+  for (std::uint32_t i = 0; i < num_lps; ++i) {
+    new (static_cast<char*>(mem_) + cells_offset(num_shards) +
+         sizeof(LpCell) * i) LpCell{};
+  }
+  const std::size_t base = rings_offset(num_shards, num_lps);
+  for (std::uint32_t i = 0; i < num_shards; ++i) {
+    for (std::uint32_t j = 0; j < num_shards; ++j) {
+      ShmRing::create(static_cast<char*>(mem_) + base +
+                          (static_cast<std::size_t>(i) * num_shards + j) *
+                              ShmRing::bytes_for(ring_capacity),
+                      ring_capacity);
+    }
+  }
+}
+
+ShardShm ShardShm::create_anonymous(std::uint32_t num_shards,
+                                    std::uint32_t num_lps,
+                                    std::uint64_t ring_capacity) {
+  ShardShm s;
+  s.size_ = bytes_for(num_shards, num_lps, ring_capacity);
+  s.mem_ = ::mmap(nullptr, s.size_, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (s.mem_ == MAP_FAILED) {
+    s.mem_ = nullptr;
+    MASSF_THROW(ErrorCategory::kIo, "mmap(MAP_ANONYMOUS|MAP_SHARED) failed "
+                                    "for shard control segment");
+  }
+  s.init_layout(num_shards, num_lps, ring_capacity);
+  return s;
+}
+
+ShardShm ShardShm::create_file(const std::string& path,
+                               std::uint32_t num_shards, std::uint32_t num_lps,
+                               std::uint64_t ring_capacity) {
+  ShardShm s;
+  s.size_ = bytes_for(num_shards, num_lps, ring_capacity);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) {
+    MASSF_THROW(ErrorCategory::kIo, "cannot create shard shm file " + path);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(s.size_)) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    MASSF_THROW(ErrorCategory::kIo, "cannot size shard shm file " + path);
+  }
+  s.mem_ = ::mmap(nullptr, s.size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (s.mem_ == MAP_FAILED) {
+    s.mem_ = nullptr;
+    ::unlink(path.c_str());
+    MASSF_THROW(ErrorCategory::kIo, "cannot map shard shm file " + path);
+  }
+  s.path_ = path;
+  s.owner_ = true;
+  s.init_layout(num_shards, num_lps, ring_capacity);
+  return s;
+}
+
+ShardShm ShardShm::attach_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    MASSF_THROW(ErrorCategory::kIo, "cannot open shard shm file " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < static_cast<off_t>(sizeof(ShmHeader))) {
+    ::close(fd);
+    MASSF_THROW(ErrorCategory::kIo, "shard shm file too small: " + path);
+  }
+  ShardShm s;
+  s.size_ = static_cast<std::size_t>(st.st_size);
+  s.mem_ = ::mmap(nullptr, s.size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (s.mem_ == MAP_FAILED) {
+    s.mem_ = nullptr;
+    MASSF_THROW(ErrorCategory::kIo, "cannot map shard shm file " + path);
+  }
+  const ShmHeader& hdr = s.header();
+  if (hdr.magic != kShmMagic || hdr.version != kShmVersion ||
+      s.size_ != bytes_for(hdr.num_shards, hdr.num_lps, hdr.ring_capacity)) {
+    MASSF_THROW(ErrorCategory::kIo,
+                "shard shm file " + path + " has a mismatched header");
+  }
+  return s;
+}
+
+ShardShm::~ShardShm() {
+  if (mem_ != nullptr) ::munmap(mem_, size_);
+  if (owner_ && !path_.empty()) ::unlink(path_.c_str());
+}
+
+ShardShm::ShardShm(ShardShm&& other) noexcept { *this = std::move(other); }
+
+ShardShm& ShardShm::operator=(ShardShm&& other) noexcept {
+  if (this != &other) {
+    if (mem_ != nullptr) ::munmap(mem_, size_);
+    if (owner_ && !path_.empty()) ::unlink(path_.c_str());
+    mem_ = std::exchange(other.mem_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::exchange(other.path_, std::string());
+    owner_ = std::exchange(other.owner_, false);
+  }
+  return *this;
+}
+
+ShmHeader& ShardShm::header() const { return *static_cast<ShmHeader*>(mem_); }
+
+ControlSlot& ShardShm::slot(std::int32_t shard) const {
+  return *reinterpret_cast<ControlSlot*>(static_cast<char*>(mem_) +
+                                         slots_offset() +
+                                         sizeof(ControlSlot) * shard);
+}
+
+LpCell& ShardShm::lp(std::int32_t lp) const {
+  return *reinterpret_cast<LpCell*>(static_cast<char*>(mem_) +
+                                    cells_offset(header().num_shards) +
+                                    sizeof(LpCell) * lp);
+}
+
+ShmRing ShardShm::ring(std::int32_t from, std::int32_t to) const {
+  const ShmHeader& hdr = header();
+  const std::size_t base = rings_offset(hdr.num_shards, hdr.num_lps);
+  return ShmRing::attach(
+      static_cast<char*>(mem_) + base +
+      (static_cast<std::size_t>(from) * hdr.num_shards + to) *
+          ShmRing::bytes_for(hdr.ring_capacity));
+}
+
+bool ShardShm::aborted() const {
+  return header().abort.load(std::memory_order_acquire) != 0;
+}
+
+void ShardShm::request_abort() const {
+  header().abort.store(1, std::memory_order_release);
+}
+
+}  // namespace massf::shard

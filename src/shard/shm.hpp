@@ -1,0 +1,142 @@
+// The shared-memory segment behind a sharded run: one control page
+// (per-shard ControlSlots — the cross-process channel clocks), per-LP
+// result cells, and the N*(N-1) directed SPSC rings (ring.hpp).
+//
+// Two mapping modes, one layout:
+//   * create_anonymous() — MAP_SHARED|MAP_ANONYMOUS, inherited across
+//     fork(). The in-process path: tests and the campaign golden rows.
+//   * create_file()/attach_file() — file-backed, so self-exec'd worker
+//     processes (the campaign-runner idiom: the CLI re-invokes itself
+//     with --shard-worker=K --shard-shm=PATH) can attach by path.
+//
+// ControlSlot is the per-shard "channel clock" page entry: each epoch a
+// worker publishes its local event floor, its previous window's max
+// per-LP event count, and its stop flag, then releases `epoch`. The
+// floor/max/stop words are double-buffered by epoch parity — the
+// quiescence protocol bounds inter-worker skew to one epoch (driver.cpp),
+// so bank e%2 cannot be overwritten before every peer has read it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "shard/ring.hpp"
+
+namespace massf::shard {
+
+inline constexpr std::uint64_t kShmMagic = 0x3176'6d68'7366'7368ULL;
+inline constexpr std::uint32_t kShmVersion = 1;
+
+enum class WorkerState : std::uint32_t {
+  kInit = 0,
+  kRunning = 1,
+  kDone = 2,
+  kError = 3,
+};
+
+struct alignas(64) ControlSlot {
+  /// Last published epoch + 1 (0 = nothing yet), release-stored after the
+  /// banked values below; monotone, so an acquire load observing e+1 (or
+  /// anything later) sees the bank e%2 values of epoch e.
+  std::atomic<std::uint64_t> epoch;
+  std::atomic<std::int64_t> floor[2];              ///< local event floor
+  std::atomic<std::uint64_t> max_window_events[2]; ///< prev window's max
+  std::atomic<std::uint32_t> stop[2];              ///< local stop flag
+  std::atomic<std::uint32_t> state;                ///< WorkerState
+  std::atomic<std::int32_t> pid;
+  std::atomic<std::uint32_t> error_category;       ///< ErrorCategory
+  /// Liveness heartbeats for the supervisor's progress sample.
+  std::atomic<std::uint64_t> heartbeat_windows;
+  std::atomic<std::uint64_t> heartbeat_events;
+  // Final run scalars, valid once state == kDone. The window/clock values
+  // are identical across shards by construction; cross/merge are this
+  // shard's partial tallies (they sum to the sequential totals).
+  std::atomic<std::uint64_t> fin_num_windows;
+  std::atomic<std::uint64_t> fin_wall_bits;     ///< modeled_wall_s bits
+  std::atomic<std::uint64_t> fin_sync_bits;     ///< modeled_sync_s bits
+  std::atomic<std::uint64_t> fin_migrate_bits;  ///< modeled_migrate_s bits
+  std::atomic<std::int64_t> fin_floor;          ///< floor at loop exit
+  std::atomic<std::uint64_t> fin_cross_events;
+  std::atomic<std::uint64_t> fin_merge_batches;
+  // pdes.shard.* transport counters (obs registry, bench_pdes --shards).
+  std::atomic<std::uint64_t> ring_stalls;
+  std::atomic<std::uint64_t> ring_wait_ns;
+  std::atomic<std::uint64_t> control_waits;
+  std::atomic<std::uint64_t> control_wait_ns;
+  std::atomic<std::uint64_t> batch_bytes;
+  std::atomic<std::uint64_t> cross_shard_events;
+  std::atomic<std::uint64_t> frames;
+  /// Structured EngineError propagation: message written (NUL-terminated)
+  /// before state release-stores kError.
+  char error_message[256];
+};
+
+/// Per-LP results, written by the LP's final owner at finish.
+struct LpCell {
+  std::atomic<std::uint64_t> events;
+  std::atomic<std::uint64_t> checksum;   ///< workload's per-LP fold
+  std::atomic<std::uint64_t> busy_bits;  ///< stats_.busy_s[lp] bits
+};
+
+struct ShmHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t num_shards;
+  std::uint32_t num_lps;
+  std::uint32_t pad0;
+  std::uint64_t ring_capacity;
+  /// Supervisor -> workers: stop spinning and die (set on stall/crash).
+  std::atomic<std::uint32_t> abort;
+  char pad1[28];
+};
+static_assert(sizeof(ShmHeader) == 64, "header is one cache line");
+
+/// Owns (or views) the mapping. Move-only; the creating side unlinks a
+/// file-backed segment on destruction.
+class ShardShm {
+ public:
+  ShardShm() = default;
+  ~ShardShm();
+  ShardShm(ShardShm&& other) noexcept;
+  ShardShm& operator=(ShardShm&& other) noexcept;
+  ShardShm(const ShardShm&) = delete;
+  ShardShm& operator=(const ShardShm&) = delete;
+
+  static std::size_t bytes_for(std::uint32_t num_shards, std::uint32_t num_lps,
+                               std::uint64_t ring_capacity);
+
+  /// Fork mode: anonymous shared mapping, inherited by children.
+  static ShardShm create_anonymous(std::uint32_t num_shards,
+                                   std::uint32_t num_lps,
+                                   std::uint64_t ring_capacity);
+  /// Exec mode: file-backed segment at `path` (created/truncated). The
+  /// returned object owns the file and unlinks it on destruction.
+  static ShardShm create_file(const std::string& path,
+                              std::uint32_t num_shards, std::uint32_t num_lps,
+                              std::uint64_t ring_capacity);
+  /// Worker side of exec mode. Throws EngineError(kIo) on open/validate
+  /// failure.
+  static ShardShm attach_file(const std::string& path);
+
+  bool valid() const { return mem_ != nullptr; }
+  ShmHeader& header() const;
+  ControlSlot& slot(std::int32_t shard) const;
+  LpCell& lp(std::int32_t lp) const;
+  /// The directed ring carrying frames from shard `from` to shard `to`.
+  ShmRing ring(std::int32_t from, std::int32_t to) const;
+
+  bool aborted() const;
+  void request_abort() const;
+
+ private:
+  void init_layout(std::uint32_t num_shards, std::uint32_t num_lps,
+                   std::uint64_t ring_capacity);
+
+  void* mem_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;   // non-empty = file-backed
+  bool owner_ = false; // creator: unlink path_ at destruction
+};
+
+}  // namespace massf::shard

@@ -1,0 +1,116 @@
+// Parent side of the multi-process executor: partitions the LP set,
+// launches one worker per shard (fork of the already-built workload, or
+// self-exec in the campaign-runner idiom), watches their liveness through
+// the shared control page, and reassembles the merged RunStats + per-LP
+// results. Supervision rides the guard subsystem (DESIGN.md section 5h):
+//
+//   * watchdog — the parent samples each worker's slot heartbeats; a run
+//     whose progress counter freezes for stall_deadline_s is killed and
+//     the control page + ring cursors are dumped (ring_dump_path) for the
+//     nightly artifacts;
+//   * structured errors — a worker's EngineError lands in its ControlSlot
+//     (category + message) and is re-raised in the parent;
+//   * degradation ladder — guard::GuardedRun sequences the attempts: rung
+//     0 retries the sharded run, any later rung falls back to the
+//     single-process reference executor, restoring from the per-shard
+//     checkpoint set when one exists (ShardDriver::restore_from_shards).
+//
+// Contract: a sharded run's RunStats, per-LP results, and workload
+// checksum fold are bit-identical to Engine::run() on the same workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pdes/engine.hpp"
+#include "shard/driver.hpp"
+
+namespace massf::obs {
+class Registry;
+}  // namespace massf::obs
+
+namespace massf::shard {
+
+/// A freshly built simulation: the full engine plus an optional per-LP
+/// result fold (e.g. an event-trace checksum). The builder fn must be
+/// deterministic — every worker process rebuilds the identical engine.
+struct ShardWorkload {
+  std::unique_ptr<Engine> engine;
+  std::function<std::uint64_t(LpId)> lp_checksum;
+};
+using WorkloadFn = std::function<ShardWorkload()>;
+
+struct ShardOptions {
+  std::int32_t shards = 2;
+  /// Per-directed-pair ring capacity in bytes.
+  std::uint64_t ring_bytes = 1 << 16;
+  double stall_deadline_s = 30.0;
+  double poll_interval_s = 0.01;
+  /// Per-shard checkpointing (enables crash recovery). Empty dir = off.
+  std::string ckpt_dir;
+  std::uint64_t ckpt_every = 0;
+  /// Ownership transfers applied at window boundaries (driver.hpp).
+  std::vector<ShardMigration> migrations;
+  /// Where to dump the control page + ring cursors on failure ("" = off).
+  std::string ring_dump_path;
+  /// Degradation ladder: false = a failed sharded run throws instead of
+  /// falling back to single-process (bench/tests want the hard failure).
+  bool fallback = true;
+  /// Same-configuration sharded retries before degrading.
+  int max_retries = 1;
+  // Chaos injection (tests/nightly): worker `kill_shard` SIGKILLs itself
+  // after `kill_after_windows` windows; with kill_in_send, one frame into
+  // its next cross-shard batch.
+  std::int32_t kill_shard = -1;
+  std::uint64_t kill_after_windows = 0;
+  bool kill_in_send = false;
+};
+
+struct ShardMetrics {
+  std::uint64_t cross_shard_events = 0;
+  std::uint64_t batch_bytes = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t ring_stalls = 0;
+  double ring_wait_s = 0;
+  std::uint64_t control_waits = 0;
+  double control_wait_s = 0;
+};
+
+struct ShardResult {
+  RunStats stats;
+  /// The workload's per-LP folds combined in LP id order
+  /// (fold = fold * 31 + lp_checksum(i)), matching the golden convention.
+  std::uint64_t checksum = 0;
+  ShardMetrics metrics;
+  std::int32_t shards = 1;  ///< shards the completing attempt ran on
+  int attempts = 1;
+  int degraded_rung = 0;  ///< 0 = sharded; >= 1 = single-process fallback
+  bool recovered = false; ///< fallback resumed from a shard checkpoint set
+};
+
+/// Fork mode: builds the workload once, forks one worker per shard over
+/// an anonymous shared mapping. Publishes pdes.shard.* metrics into
+/// `registry` when given. Throws EngineError when the run fails and the
+/// ladder is exhausted (or disabled).
+ShardResult run_sharded(const ShardOptions& options, const WorkloadFn& workload,
+                        obs::Registry* registry = nullptr);
+
+/// Exec mode: spawns `worker_command + " --shard-worker=K --shard-shm=PATH"`
+/// per shard (std::system, one launcher thread each — the campaign-runner
+/// idiom) over a file-backed segment at options.ckpt_dir-independent tmp
+/// path. `workload` is still needed locally for the LP count, the result
+/// fold, and the single-process fallback rungs.
+ShardResult run_sharded_exec(const ShardOptions& options,
+                             const std::string& worker_command,
+                             const WorkloadFn& workload,
+                             obs::Registry* registry = nullptr);
+
+/// Worker side of exec mode: attaches the segment at `shm_path` and runs
+/// shard `shard` of the workload. Returns the process exit code.
+int exec_worker_main(const std::string& shm_path, std::int32_t shard,
+                     const ShardOptions& options, const WorkloadFn& workload);
+
+}  // namespace massf::shard

@@ -13,6 +13,7 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/warn.hpp"
 
 namespace massf {
 
@@ -325,6 +326,13 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
   // liveness telemetry for the duration of the run and applies the stall
   // policy — under kCancel a wedged run comes back with
   // last_run_cancelled() set instead of hanging the process.
+  if (opts_.executor_shards > 1) {
+    warn(ErrorCategory::kConfig,
+         "executor_shards=" + std::to_string(opts_.executor_shards) +
+             " requested, but scenario runs execute single-process for now "
+             "(sharding a NetSim workload needs a deterministic workload "
+             "builder; see ROADMAP.md) — running unsharded");
+  }
   {
     guard::Watchdog watchdog(engine, opts_.guard, opts_.registry);
     watchdog.arm();

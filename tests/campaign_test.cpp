@@ -52,8 +52,8 @@ TEST(Campaign, ErrorMatrix) {
        "line 2: unknown key 'turbo' in Campaign (prefix with x_ to ignore)"},
       {"Campaign [\n" + std::string(kTinyBase) +
            "  sweep [\n    flavor mild\n  ]\n]",
-       "line 13: unknown sweep axis 'flavor' (seed|sync|threads|mapping|"
-       "override)"},
+       "line 13: unknown sweep axis 'flavor' (seed|sync|threads|shards|"
+       "mapping|override)"},
       {"Campaign [\n" + std::string(kTinyBase) +
            "  sweep [\n    seed minus\n  ]\n]",
        "line 13: 'seed' wants a non-negative integer, got 'minus'"},
