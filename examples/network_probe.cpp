@@ -96,7 +96,8 @@ int main(int argc, char** argv) {
   std::vector<Util> utils;
   for (LinkId l = 0; l < static_cast<LinkId>(net.links.size()); ++l) {
     for (int d = 0; d < 2; ++d) {
-      utils.push_back({l, d, sim.link_utilization(l, d, eo.end_time)});
+      utils.push_back(
+          {l, d, sim.link_model().link_utilization(l, d, eo.end_time)});
     }
   }
   std::sort(utils.begin(), utils.end(),

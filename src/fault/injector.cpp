@@ -56,7 +56,7 @@ void FaultInjector::arm(Engine& engine, NetSim& sim,
           }
         } else {
           // Host access link: no routing choice exists — pure data plane.
-          sim.schedule_link_state(engine, e.target, e.at, up);
+          sim.link_model().schedule_link_state(engine, e.target, e.at, up);
         }
         break;
       }
@@ -76,15 +76,16 @@ void FaultInjector::arm(Engine& engine, NetSim& sim,
               controller_->fail_link(engine, sim, inc.link, e.at);
             }
           } else {
-            sim.schedule_link_state(engine, inc.link, e.at, up);
+            sim.link_model().schedule_link_state(engine, inc.link, e.at, up);
           }
         }
         break;
       }
       case FaultKind::kLossBurst: {
         MASSF_CHECK(e.target >= 0 && e.target < num_links);
-        sim.schedule_loss_state(engine, e.target, e.at, e.rate);
-        sim.schedule_loss_state(engine, e.target, e.at + e.duration, 0.0);
+        sim.link_model().schedule_loss_state(engine, e.target, e.at, e.rate);
+        sim.link_model().schedule_loss_state(engine, e.target,
+                                             e.at + e.duration, 0.0);
         break;
       }
       case FaultKind::kBgpReset: {

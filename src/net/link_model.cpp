@@ -1,0 +1,81 @@
+#include "net/link_model.hpp"
+
+#include "ckpt/ckpt.hpp"
+#include "net/fluid_link.hpp"
+#include "net/netsim.hpp"
+#include "net/packet_link.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace massf {
+
+const char* link_model_kind_name(LinkModelKind kind) {
+  switch (kind) {
+    case LinkModelKind::kPacket: return "packet";
+    case LinkModelKind::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+bool parse_link_model_kind(const std::string& text, LinkModelKind* out) {
+  if (text == "packet") {
+    *out = LinkModelKind::kPacket;
+    return true;
+  }
+  if (text == "hybrid") {
+    *out = LinkModelKind::kHybrid;
+    return true;
+  }
+  return false;
+}
+
+void LinkModel::start_background_flow(Engine&, SimTime, NodeId, NodeId,
+                                      std::uint32_t, std::uint32_t) {
+  MASSF_THROW(ErrorCategory::kConfig,
+              std::string("link model '") + name() +
+                  "' does not carry background flows");
+}
+
+std::vector<FlowRecord> LinkModel::background_flow_records() const {
+  return {};
+}
+
+void LinkModel::publish_metrics(obs::Registry&) const {}
+
+void save_flow_record(ckpt::Writer& w, const FlowRecord& rec) {
+  w.u64(rec.flow);
+  w.i32(rec.src);
+  w.i32(rec.dst);
+  w.u32(rec.bytes);
+  w.u32(rec.tag);
+  w.i64(rec.started_at);
+  w.i64(rec.finished_at);
+  w.u32(rec.retransmits);
+  w.u8(rec.failed ? 1 : 0);
+}
+
+void load_flow_record(ckpt::Reader& r, FlowRecord& rec) {
+  rec.flow = r.u64();
+  rec.src = r.i32();
+  rec.dst = r.i32();
+  rec.bytes = r.u32();
+  rec.tag = r.u32();
+  rec.started_at = r.i64();
+  rec.finished_at = r.i64();
+  rec.retransmits = r.u32();
+  rec.failed = r.u8() != 0;
+}
+
+std::unique_ptr<LinkModel> make_link_model(const Network& net,
+                                           const ForwardingPlane& fp,
+                                           const NetSimOptions& opts) {
+  switch (opts.link_model.kind) {
+    case LinkModelKind::kPacket:
+      return std::make_unique<PacketLinkModel>(net, opts);
+    case LinkModelKind::kHybrid:
+      return std::make_unique<FluidLinkModel>(net, fp, opts);
+  }
+  MASSF_THROW(ErrorCategory::kConfig, "unknown link model kind");
+}
+
+}  // namespace massf

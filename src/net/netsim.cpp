@@ -21,31 +21,19 @@ class PartitionLp final : public LogicalProcess {
   NetSim* sim_;
 };
 
-SimTime service_time(std::uint32_t wire_bytes, double bandwidth_bps) {
-  return from_seconds(static_cast<double>(wire_bytes) * 8.0 / bandwidth_bps);
-}
-
-/// splitmix64-style finalizer over (seed, slot, seq): the loss-burst drop
-/// decision depends only on values owned by the transmitting LP, so it is
-/// bit-identical under the sequential and threaded executors.
-std::uint64_t loss_hash(std::uint64_t seed, std::uint64_t slot,
-                        std::uint64_t seq) {
-  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (slot + 1) +
-                    0xbf58476d1ce4e5b9ULL * (seq + 1);
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
-
 }  // namespace
 
 NetSim::NetSim(const Network& net, const ForwardingPlane& fp,
                std::span<const LpId> router_lp, Engine& engine,
                const NetSimOptions& opts)
-    : net_(&net), fp_(&fp), opts_(opts) {
+    : NetSim(net, fp, router_lp, engine, opts,
+             make_link_model(net, fp, opts)) {}
+
+NetSim::NetSim(const Network& net, const ForwardingPlane& fp,
+               std::span<const LpId> router_lp, Engine& engine,
+               const NetSimOptions& opts, std::unique_ptr<LinkModel> model)
+    : net_(&net), fp_(&fp), opts_(opts), model_(std::move(model)) {
+  MASSF_CHECK(model_ != nullptr);
   MASSF_CHECK(static_cast<NodeId>(router_lp.size()) == net.num_routers);
 
   node_lp_.resize(net.nodes.size());
@@ -69,14 +57,7 @@ NetSim::NetSim(const Network& net, const ForwardingPlane& fp,
     }
   }
 
-  iface_free_.assign(net.links.size() * 2, 0);
-  iface_up_.assign(net.links.size() * 2, 1);
   node_up_.assign(net.nodes.size(), 1);
-  loss_rate_ppm_.assign(net.links.size() * 2, 0);
-  loss_seq_.assign(net.links.size() * 2, 0);
-  if (opts_.collect_link_stats) {
-    link_bytes_.assign(net.links.size() * 2, 0);
-  }
   lp_state_.resize(static_cast<std::size_t>(num_lps_));
   if (opts_.collect_node_profile) {
     profile_.assign(net.nodes.size(), 0);
@@ -86,6 +67,7 @@ NetSim::NetSim(const Network& net, const ForwardingPlane& fp,
   for (std::int32_t i = 0; i < num_lps_; ++i) {
     engine.add_lp(std::make_unique<PartitionLp>(this));
   }
+  model_->attach(*this, engine);
 }
 
 LpId NetSim::lp_of(NodeId node) const {
@@ -156,16 +138,26 @@ void NetSim::schedule_app_timer(Engine& engine, NodeId host, SimTime when,
                   static_cast<std::uint64_t>(host), b, c);
 }
 
-void NetSim::schedule_link_state(Engine& engine, LinkId link, SimTime when,
-                                 bool up) {
-  MASSF_CHECK(link >= 0 &&
-              link < static_cast<LinkId>(net_->links.size()));
-  const NetLink& l = net_->links[static_cast<std::size_t>(link)];
-  // One event per direction, addressed to the LP owning that transmitter.
-  engine.schedule(lp_of(l.a), when, kEvLinkState,
-                  static_cast<std::uint64_t>(link) * 2, up ? 1 : 0);
-  engine.schedule(lp_of(l.b), when, kEvLinkState,
-                  static_cast<std::uint64_t>(link) * 2 + 1, up ? 1 : 0);
+bool NetSim::start_background_flow(Engine& engine, SimTime when,
+                                   NodeId src_host, NodeId dst_host,
+                                   std::uint32_t bytes, std::uint32_t tag) {
+  MASSF_CHECK(net_->is_host(src_host) && net_->is_host(dst_host));
+  MASSF_CHECK(bytes > 0);
+  if (!model_->supports_background_flows()) {
+    // Packet-only model: honor the request at packet fidelity so traffic
+    // apps can select fidelity per flow without caring which model runs.
+    start_flow(engine, when, src_host, dst_host, bytes, tag);
+    return false;
+  }
+  model_->start_background_flow(engine, when, src_host, dst_host, bytes, tag);
+  return true;
+}
+
+void NetSim::background_flow_finished(Engine& engine, const FlowRecord& rec) {
+  if (on_flow_complete_) {
+    on_flow_complete_(engine, *this, rec.flow, rec.src, rec.dst, rec.tag,
+                      rec.failed);
+  }
 }
 
 void NetSim::schedule_node_state(Engine& engine, NodeId router, SimTime when,
@@ -173,19 +165,6 @@ void NetSim::schedule_node_state(Engine& engine, NodeId router, SimTime when,
   MASSF_CHECK(net_->is_router(router));
   engine.schedule(lp_of(router), when, kEvNodeState,
                   static_cast<std::uint64_t>(router), up ? 1 : 0);
-}
-
-void NetSim::schedule_loss_state(Engine& engine, LinkId link, SimTime when,
-                                 double loss_rate) {
-  MASSF_CHECK(link >= 0 &&
-              link < static_cast<LinkId>(net_->links.size()));
-  MASSF_CHECK(loss_rate >= 0 && loss_rate < 1.0);
-  const auto ppm = static_cast<std::uint64_t>(loss_rate * 1e6);
-  const NetLink& l = net_->links[static_cast<std::size_t>(link)];
-  engine.schedule(lp_of(l.a), when, kEvLossState,
-                  static_cast<std::uint64_t>(link) * 2, ppm);
-  engine.schedule(lp_of(l.b), when, kEvLossState,
-                  static_cast<std::uint64_t>(link) * 2 + 1, ppm);
 }
 
 bool NetSim::router_mobile(NodeId router, SimTime lookahead) const {
@@ -263,7 +242,7 @@ void NetSim::handle(Engine& engine, const Event& ev) {
     case kEvLinkState: {
       // The slot's state is owned by the transmitting endpoint's LP, which
       // is where this event was addressed.
-      iface_up_[ev.a] = ev.b != 0;
+      model_->on_link_state(ev.a, ev.b != 0);
       break;
     }
     case kEvNodeState: {
@@ -272,9 +251,13 @@ void NetSim::handle(Engine& engine, const Event& ev) {
       break;
     }
     case kEvLossState: {
-      loss_rate_ppm_[ev.a] = static_cast<std::uint32_t>(ev.b);
+      model_->on_loss_state(ev.a, static_cast<std::uint32_t>(ev.b));
       break;
     }
+    case kEvFluidWake:
+      // Heartbeat: its only job was forcing the window boundary that just
+      // ran the fluid model's hook.
+      break;
     case kEvUdpSend: {
       const Packet p = Packet::decode(ev);
       count_node_event(p.src);
@@ -290,49 +273,27 @@ void NetSim::handle(Engine& engine, const Event& ev) {
 }
 
 void NetSim::transmit(Engine& engine, NodeId from, LinkId link, Packet p) {
-  const NetLink& l = net_->links[static_cast<std::size_t>(link)];
-  MASSF_CHECK(l.a == from || l.b == from);
-  const NodeId peer = l.a == from ? l.b : l.a;
-  const std::size_t slot = static_cast<std::size_t>(link) * 2 +
-                           (l.a == from ? 0 : 1);
-
-  if (!iface_up_[slot]) {
-    ++lp_state_[static_cast<std::size_t>(lp_of(from))]
-          .counters.dropped_link_down;
-    return;
-  }
-  if (const std::uint32_t rate = loss_rate_ppm_[slot]; rate > 0) {
-    // Loss/corruption burst: deterministic per-slot counter hash (the
-    // corrupted frame is dropped at ingress and consumes no bandwidth).
-    const std::uint64_t seq = loss_seq_[slot]++;
-    if (loss_hash(opts_.fault_seed, slot, seq) % 1000000u < rate) {
-      ++lp_state_[static_cast<std::size_t>(lp_of(from))]
-            .counters.dropped_loss;
+  const TransmitResult res = model_->transmit(engine, from, link, p);
+  auto& counters = lp_state_[static_cast<std::size_t>(lp_of(from))].counters;
+  switch (res.status) {
+    case TransmitResult::kLinkDown:
+      ++counters.dropped_link_down;
       return;
-    }
+    case TransmitResult::kLoss:
+      ++counters.dropped_loss;
+      return;
+    case TransmitResult::kQueueFull:
+      ++counters.dropped_queue;
+      return;
+    case TransmitResult::kSent:
+      break;
   }
-
-  const SimTime now = engine.now();
-  const SimTime start = std::max(now, iface_free_[slot]);
-  // Drop-tail: the backlog currently queued ahead of this packet, in bytes.
-  const double backlog_bytes =
-      to_seconds(start - now) * l.bandwidth_bps / 8.0;
-  auto& counters =
-      lp_state_[static_cast<std::size_t>(lp_of(from))].counters;
-  if (backlog_bytes > opts_.queue_capacity_bytes) {
-    ++counters.dropped_queue;
-    return;
-  }
-  const SimTime depart = start + service_time(p.wire_bytes(), l.bandwidth_bps);
-  iface_free_[slot] = depart;
   ++counters.forwarded;
-  if (!link_bytes_.empty()) link_bytes_[slot] += p.wire_bytes();
-
-  p.arrive = peer;
+  p.arrive = res.peer;
   Event ev;
   p.encode(ev);
-  engine.schedule(lp_of(peer), depart + l.latency, kEvArrive, ev.a, ev.b,
-                  ev.c, ev.d);
+  engine.schedule(lp_of(res.peer), res.arrive, kEvArrive, ev.a, ev.b, ev.c,
+                  ev.d);
 }
 
 void NetSim::on_arrive(Engine& engine, const Packet& p) {
@@ -577,24 +538,14 @@ void NetSim::on_timeout(Engine& engine, FlowId flow, std::uint64_t epoch) {
   arm_timer(engine, s, flow);
 }
 
-double NetSim::link_utilization(LinkId link, int direction,
-                                SimTime duration) const {
-  MASSF_CHECK(!link_bytes_.empty() && "collect_link_stats was off");
-  MASSF_CHECK(direction == 0 || direction == 1);
-  MASSF_CHECK(duration > 0);
-  const NetLink& l = net_->links[static_cast<std::size_t>(link)];
-  const std::size_t slot = static_cast<std::size_t>(link) * 2 +
-                           static_cast<std::size_t>(direction);
-  return static_cast<double>(link_bytes_[slot]) * 8.0 /
-         (l.bandwidth_bps * to_seconds(duration));
-}
-
 std::vector<FlowRecord> NetSim::flow_records() const {
   MASSF_CHECK(opts_.collect_flow_records);
   std::vector<FlowRecord> all;
   for (const LpState& st : lp_state_) {
     all.insert(all.end(), st.records.begin(), st.records.end());
   }
+  const std::vector<FlowRecord> bg = model_->background_flow_records();
+  all.insert(all.end(), bg.begin(), bg.end());
   return all;
 }
 
@@ -699,30 +650,6 @@ bool load_receiver(ckpt::Reader& r, TcpReceiver& rcv) {
   return r.ok();
 }
 
-void save_record(ckpt::Writer& w, const FlowRecord& rec) {
-  w.u64(rec.flow);
-  w.i32(rec.src);
-  w.i32(rec.dst);
-  w.u32(rec.bytes);
-  w.u32(rec.tag);
-  w.i64(rec.started_at);
-  w.i64(rec.finished_at);
-  w.u32(rec.retransmits);
-  w.u8(rec.failed ? 1 : 0);
-}
-
-void load_record(ckpt::Reader& r, FlowRecord& rec) {
-  rec.flow = r.u64();
-  rec.src = r.i32();
-  rec.dst = r.i32();
-  rec.bytes = r.u32();
-  rec.tag = r.u32();
-  rec.started_at = r.i64();
-  rec.finished_at = r.i64();
-  rec.retransmits = r.u32();
-  rec.failed = r.u8() != 0;
-}
-
 }  // namespace
 
 void NetSim::save(ckpt::Writer& w) const {
@@ -730,12 +657,8 @@ void NetSim::save(ckpt::Writer& w) const {
   // The ownership table is state since migrate_router: a restored run must
   // see the same node→LP assignment the interrupted run had.
   ckpt::write_u64_vec(w, node_lp_);
-  ckpt::write_u64_vec(w, iface_free_);
-  ckpt::write_char_vec(w, iface_up_);
+  model_->save(w);
   ckpt::write_char_vec(w, node_up_);
-  ckpt::write_u64_vec(w, loss_rate_ppm_);
-  ckpt::write_u64_vec(w, loss_seq_);
-  ckpt::write_u64_vec(w, link_bytes_);
   ckpt::write_u64_vec(w, profile_);
   for (const LpState& st : lp_state_) {
     w.u64(st.senders.size());
@@ -767,7 +690,7 @@ void NetSim::save(ckpt::Writer& w) const {
     w.u64(c.flows_failed);
     w.u64(c.udp_delivered);
     w.u64(st.records.size());
-    for (const FlowRecord& rec : st.records) save_record(w, rec);
+    for (const FlowRecord& rec : st.records) save_flow_record(w, rec);
   }
 }
 
@@ -776,23 +699,10 @@ bool NetSim::load(ckpt::Reader& r) {
   const std::size_t n_lp_table = node_lp_.size();
   if (!ckpt::read_u64_vec(r, node_lp_) || node_lp_.size() != n_lp_table)
     return false;
-  const std::size_t n_iface = iface_free_.size();
+  if (!model_->load(r)) return false;
   const std::size_t n_nodes = node_up_.size();
-  const std::size_t n_link_bytes = link_bytes_.size();
   const std::size_t n_profile = profile_.size();
-  if (!ckpt::read_u64_vec(r, iface_free_) || iface_free_.size() != n_iface)
-    return false;
-  if (!ckpt::read_char_vec(r, iface_up_) || iface_up_.size() != n_iface)
-    return false;
   if (!ckpt::read_char_vec(r, node_up_) || node_up_.size() != n_nodes)
-    return false;
-  if (!ckpt::read_u64_vec(r, loss_rate_ppm_) ||
-      loss_rate_ppm_.size() != n_iface)
-    return false;
-  if (!ckpt::read_u64_vec(r, loss_seq_) || loss_seq_.size() != n_iface)
-    return false;
-  if (!ckpt::read_u64_vec(r, link_bytes_) ||
-      link_bytes_.size() != n_link_bytes)
     return false;
   if (!ckpt::read_u64_vec(r, profile_) || profile_.size() != n_profile)
     return false;
@@ -826,7 +736,7 @@ bool NetSim::load(ckpt::Reader& r) {
     const std::uint64_t n_records = r.u64();
     if (!r.ok() || n_records > (1ULL << 32)) return false;
     st.records.resize(static_cast<std::size_t>(n_records));
-    for (FlowRecord& rec : st.records) load_record(r, rec);
+    for (FlowRecord& rec : st.records) load_flow_record(r, rec);
   }
   return r.ok();
 }
@@ -847,6 +757,7 @@ void NetSim::publish_metrics(obs::Registry& registry) const {
   registry.counter("net.flows_completed").inc(t.flows_completed);
   registry.counter("net.flows_failed").inc(t.flows_failed);
   registry.counter("net.udp_delivered").inc(t.udp_delivered);
+  model_->publish_metrics(registry);
 }
 
 }  // namespace massf

@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "net/link_model.hpp"
 #include "net/packet.hpp"
 #include "net/tcp.hpp"
 #include "pdes/engine.hpp"
@@ -37,6 +39,8 @@ enum NetEventType : std::int32_t {
   kEvLinkState = 6,   ///< a = directed slot (link*2+dir), b = up (0/1)
   kEvNodeState = 7,   ///< a = router id, b = up (0/1); crash/restore
   kEvLossState = 8,   ///< a = directed slot, b = loss rate in ppm (0 = off)
+  kEvFluidWake = 9,   ///< no-op heartbeat forcing a window boundary for the
+                      ///< fluid model's completion/admission machinery
 };
 
 struct NetSimOptions {
@@ -58,26 +62,9 @@ struct NetSimOptions {
   /// per-slot transmit counter), so it is bit-identical under both
   /// executors.
   std::uint64_t fault_seed = 1;
-};
-
-/// NetFlow-style record of one finished TCP flow.
-struct FlowRecord {
-  FlowId flow = 0;
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  std::uint32_t bytes = 0;
-  std::uint32_t tag = 0;
-  SimTime started_at = 0;
-  SimTime finished_at = 0;  ///< last-byte-acked time (or failure time)
-  std::uint32_t retransmits = 0;
-  bool failed = false;
-
-  double duration_s() const { return to_seconds(finished_at - started_at); }
-  /// Goodput in bits/second.
-  double goodput_bps() const {
-    const double d = duration_s();
-    return d > 0 ? bytes * 8.0 / d : 0;
-  }
+  /// Which LinkModel carries the traffic (and the fluid-path knobs); see
+  /// link_model.hpp.
+  LinkModelOptions link_model;
 };
 
 class NetSim {
@@ -104,8 +91,21 @@ class NetSim {
          std::span<const LpId> router_lp, Engine& engine,
          const NetSimOptions& opts);
 
+  /// Same, but with an injected LinkModel (tests / custom models); the
+  /// default constructor builds one from opts.link_model via
+  /// make_link_model.
+  NetSim(const Network& net, const ForwardingPlane& fp,
+         std::span<const LpId> router_lp, Engine& engine,
+         const NetSimOptions& opts, std::unique_ptr<LinkModel> model);
+
   LpId lp_of(NodeId node) const;
   std::int32_t num_lps() const { return num_lps_; }
+
+  /// The pluggable network model carrying this simulation's traffic. Link
+  /// control (fault injection), link statistics, and background flows all
+  /// live here; see link_model.hpp for the contract.
+  LinkModel& link_model() { return *model_; }
+  const LinkModel& link_model() const { return *model_; }
 
   /// Starts a TCP flow of `bytes` from src_host to dst_host at virtual time
   /// `when`. Callable before the run (initial traffic) or from a handler
@@ -113,6 +113,17 @@ class NetSim {
   /// with the completion callback.
   FlowId start_flow(Engine& engine, SimTime when, NodeId src_host,
                     NodeId dst_host, std::uint32_t bytes, std::uint32_t tag);
+
+  /// Starts a *background* flow at the fidelity the link model offers:
+  /// under a hybrid model it is carried analytically (no per-packet
+  /// events; completion fires at a window boundary with the analytic
+  /// finish time); under a packet-only model it silently falls back to a
+  /// packet TCP flow, so applications can request flow fidelity
+  /// unconditionally. Returns true when the fluid fast path took it.
+  /// Callable in the same contexts as start_flow, plus boundary hooks.
+  bool start_background_flow(Engine& engine, SimTime when, NodeId src_host,
+                             NodeId dst_host, std::uint32_t bytes,
+                             std::uint32_t tag);
 
   /// Sends one UDP datagram (payload <= kMss bytes).
   void send_udp(Engine& engine, SimTime when, NodeId src_host,
@@ -123,12 +134,12 @@ class NetSim {
   void schedule_app_timer(Engine& engine, NodeId host, SimTime when,
                           std::uint64_t b = 0, std::uint64_t c = 0);
 
-  /// Failure injection: takes `link` down (or back up) at virtual time
-  /// `when` in both directions. While down, packets offered to the link
-  /// are dropped (counted as dropped_link_down). Call before the run or
-  /// from a barrier hook.
+  /// DEPRECATED shim (one PR): call link_model().schedule_link_state().
+  /// Takes `link` down (or back up) at `when` in both directions.
   void schedule_link_state(Engine& engine, LinkId link, SimTime when,
-                           bool up);
+                           bool up) {
+    model_->schedule_link_state(engine, link, when, up);
+  }
 
   /// Fault injection: crashes (or restores) a router at virtual time
   /// `when`. While down, packets arriving at the router are blackholed
@@ -139,13 +150,12 @@ class NetSim {
   void schedule_node_state(Engine& engine, NodeId router, SimTime when,
                            bool up);
 
-  /// Fault injection: sets the loss/corruption rate of `link` (both
-  /// directions) at virtual time `when`. While the rate is non-zero, each
-  /// packet offered to the link is dropped with that probability via a
-  /// deterministic counter-based hash (dropped_loss). Rate in [0, 1);
-  /// pass 0 to end a burst.
+  /// DEPRECATED shim (one PR): call link_model().schedule_loss_state().
+  /// Sets the loss/corruption rate of `link` (both directions) at `when`.
   void schedule_loss_state(Engine& engine, LinkId link, SimTime when,
-                           double loss_rate);
+                           double loss_rate) {
+    model_->schedule_loss_state(engine, link, when, loss_rate);
+  }
 
   void set_flow_complete(FlowCompleteFn fn) { on_flow_complete_ = std::move(fn); }
   void set_udp_receive(UdpReceiveFn fn) { on_udp_ = std::move(fn); }
@@ -179,18 +189,25 @@ class NetSim {
   /// collect_node_profile). Index = NodeId.
   const std::vector<std::uint64_t>& node_profile() const { return profile_; }
 
-  /// Bytes carried by each directed interface (slot = link*2 + direction;
+  /// DEPRECATED shim (one PR): call link_model().link_bytes(). Bytes
+  /// carried by each directed interface (slot = link*2 + direction;
   /// direction 0 transmits from NetLink::a). Empty unless
   /// collect_link_stats. Valid after the run.
-  const std::vector<std::uint64_t>& link_bytes() const { return link_bytes_; }
+  const std::vector<std::uint64_t>& link_bytes() const {
+    return model_->link_bytes();
+  }
 
+  /// DEPRECATED shim (one PR): call link_model().link_utilization().
   /// Utilization of one direction of a link over `duration`: carried bits
   /// over capacity. Requires collect_link_stats.
   double link_utilization(LinkId link, int direction,
-                          SimTime duration) const;
+                          SimTime duration) const {
+    return model_->link_utilization(link, direction, duration);
+  }
 
-  /// All finished flows, merged across LPs in (LP, finish-order). Requires
-  /// collect_flow_records; call after the run.
+  /// All finished flows: packet TCP flows merged across LPs in
+  /// (LP, finish-order), followed by the link model's background flows in
+  /// completion order. Requires collect_flow_records; call after the run.
   std::vector<FlowRecord> flow_records() const;
 
   const Network& network() const { return *net_; }
@@ -219,6 +236,16 @@ class NetSim {
 
   /// Internal: event dispatch, called by the per-LP adapters.
   void handle(Engine& engine, const Event& ev);
+
+  /// Internal (link models): dispatches the flow-complete callback for a
+  /// finished background flow. Runs at a window boundary.
+  void background_flow_finished(Engine& engine, const FlowRecord& rec);
+
+  /// Internal (link models): charges `weight` processed-event equivalents
+  /// to `node` in the traffic profile (no-op unless collect_node_profile).
+  void count_background_events(NodeId node, std::uint64_t weight) {
+    if (!profile_.empty()) profile_[static_cast<std::size_t>(node)] += weight;
+  }
 
   /// Checkpoint hooks (ckpt/ckpt.hpp): serialize everything that diverges
   /// from construction — the node→LP ownership table (mutable since
@@ -274,20 +301,13 @@ class NetSim {
   std::int32_t num_lps_ = 0;
   NetSimOptions opts_;
 
-  /// Busy-until time per directed interface (link*2 + dir); each slot is
-  /// only touched by the LP owning the transmitting endpoint.
-  std::vector<SimTime> iface_free_;
-  /// Interface administrative state (same indexing/ownership discipline).
-  std::vector<char> iface_up_;
+  /// The pluggable link model: per-interface state (busy-until clocks,
+  /// up/down, loss cursors, byte counters) and, under the hybrid model,
+  /// the analytic background-flow machinery all live behind this boundary.
+  std::unique_ptr<LinkModel> model_;
+
   /// Node up/down state (router crash); slot owned by the node's LP.
   std::vector<char> node_up_;
-  /// Loss-burst rate per directed interface in ppm (0 = no loss), and the
-  /// per-slot transmit counter feeding the deterministic drop hash. Both
-  /// follow the iface ownership discipline.
-  std::vector<std::uint32_t> loss_rate_ppm_;
-  std::vector<std::uint64_t> loss_seq_;
-  /// Bytes carried per directed interface (same ownership discipline).
-  std::vector<std::uint64_t> link_bytes_;
 
   std::vector<LpState> lp_state_;
   std::vector<std::uint64_t> profile_;

@@ -1,0 +1,66 @@
+// The packet-level link model: per-directed-interface busy-until clocks,
+// drop-tail output queues, administrative up/down state, and deterministic
+// loss bursts — extracted verbatim from the original NetSim so pure-packet
+// runs stay bit-identical (same doubles, same event stream, same
+// checkpoint content). See link_model.hpp for the ownership contract.
+#pragma once
+
+#include "net/link_model.hpp"
+#include "net/netsim.hpp"
+
+namespace massf {
+
+class PacketLinkModel : public LinkModel {
+ public:
+  PacketLinkModel(const Network& net, const NetSimOptions& opts);
+
+  LinkModelKind kind() const override { return LinkModelKind::kPacket; }
+  void attach(NetSim& sim, Engine& engine) override;
+
+  TransmitResult transmit(Engine& engine, NodeId from, LinkId link,
+                          const Packet& p) override;
+
+  void schedule_link_state(Engine& engine, LinkId link, SimTime when,
+                           bool up) override;
+  void schedule_loss_state(Engine& engine, LinkId link, SimTime when,
+                           double loss_rate) override;
+  void on_link_state(std::uint64_t slot, bool up) override;
+  void on_loss_state(std::uint64_t slot, std::uint32_t ppm) override;
+
+  const std::vector<std::uint64_t>& link_bytes() const override {
+    return link_bytes_;
+  }
+  double link_utilization(LinkId link, int direction,
+                          SimTime duration) const override;
+
+  void save(ckpt::Writer& writer) const override;
+  bool load(ckpt::Reader& reader) override;
+
+ protected:
+  /// The shared drop-tail transmission path, parameterized on the
+  /// bandwidth the packet class may use: the pure-packet model passes the
+  /// link's full bandwidth (bit-identical to the pre-refactor code); the
+  /// hybrid model passes the residual left by the fluid reservation.
+  TransmitResult transmit_impl(Engine& engine, NodeId from, LinkId link,
+                               const Packet& p, double bandwidth_bps);
+
+  const Network* net_;
+  NetSim* sim_ = nullptr;
+  NetSimOptions opts_;
+
+  /// Busy-until time per directed interface (link*2 + dir); each slot is
+  /// only touched by the LP owning the transmitting endpoint.
+  std::vector<SimTime> iface_free_;
+  /// Interface administrative state (same indexing/ownership discipline).
+  std::vector<char> iface_up_;
+  /// Loss-burst rate per directed interface in ppm (0 = no loss), and the
+  /// per-slot transmit counter feeding the deterministic drop hash. Both
+  /// follow the iface ownership discipline.
+  std::vector<std::uint32_t> loss_rate_ppm_;
+  std::vector<std::uint64_t> loss_seq_;
+  /// Bytes carried per directed interface (same ownership discipline);
+  /// empty unless collect_link_stats.
+  std::vector<std::uint64_t> link_bytes_;
+};
+
+}  // namespace massf

@@ -21,7 +21,7 @@ void FailoverController::attach(Engine& engine) {
 
 void FailoverController::schedule(Engine& engine, NetSim& sim, LinkId link,
                                   SimTime when, bool up) {
-  sim.schedule_link_state(engine, link, when, up);
+  sim.link_model().schedule_link_state(engine, link, when, up);
   pending_.push_back({when + delay_, link, up, when});
   std::sort(pending_.begin(), pending_.end(),
             [](const Pending& a, const Pending& b) { return a.at < b.at; });

@@ -88,6 +88,7 @@ Scenario::Scenario(const ScenarioOptions& options) : opts_(options) {
   add_dests(clients_);
   add_dests(servers_);
   add_dests(app_hosts_);
+  add_dests(bg_sources_);
   std::sort(dests.begin(), dests.end());
   dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
 
@@ -102,9 +103,11 @@ Scenario::Scenario(const ScenarioOptions& options) : opts_(options) {
 
 void Scenario::select_hosts() {
   const std::int32_t needed =
-      opts_.num_clients + opts_.num_servers +
+      opts_.num_clients + opts_.num_servers + opts_.num_bg_sources +
       (opts_.app == AppKind::kNone ? 0 : opts_.num_app_hosts);
   MASSF_CHECK(needed <= net_.num_hosts());
+  // Background flows target the server pool, so sources need servers.
+  MASSF_CHECK(opts_.num_bg_sources == 0 || opts_.num_servers > 0);
 
   std::vector<NodeId> hosts(static_cast<std::size_t>(net_.num_hosts()));
   std::iota(hosts.begin(), hosts.end(), net_.num_routers);
@@ -118,7 +121,9 @@ void Scenario::select_hosts() {
   it += opts_.num_servers;
   if (opts_.app != AppKind::kNone) {
     app_hosts_.assign(it, it + opts_.num_app_hosts);
+    it += opts_.num_app_hosts;
   }
+  bg_sources_.assign(it, it + opts_.num_bg_sources);
 }
 
 void Scenario::install_traffic(Engine& engine, NetSim& sim,
@@ -131,8 +136,18 @@ void Scenario::install_traffic(Engine& engine, NetSim& sim,
   // run: profiles must predict a *future* execution (paper Section 3.3),
   // not replay the identical one.
   if (profiling) http.seed ^= 0x50524F46;  // "PROF"
-  manager.add(TrafficKind::kHttp,
-              std::make_unique<HttpWorkload>(clients_, servers_, http));
+  if (opts_.num_clients > 0) {
+    manager.add(TrafficKind::kHttp,
+                std::make_unique<HttpWorkload>(clients_, servers_, http));
+  }
+
+  if (opts_.num_bg_sources > 0) {
+    BackgroundOptions bg = opts_.background;
+    bg.seed = opts_.seed ^ 0x42474644;  // "BGFD"
+    if (profiling) bg.seed ^= 0x50524F46;  // "PROF"
+    manager.add(TrafficKind::kBackground, std::make_unique<BackgroundWorkload>(
+                                              bg_sources_, servers_, bg));
+  }
 
   if (opts_.app == AppKind::kScaLapack) {
     manager.add(TrafficKind::kApp,
@@ -329,9 +344,12 @@ ExperimentResult Scenario::run(const Mapping& mapping) {
   if (opts_.executor_shards > 1) {
     warn(ErrorCategory::kConfig,
          "executor_shards=" + std::to_string(opts_.executor_shards) +
-             " requested, but scenario runs execute single-process for now "
-             "(sharding a NetSim workload needs a deterministic workload "
-             "builder; see ROADMAP.md) — running unsharded");
+             " requested, but scenario runs execute single-process for now: "
+             "this is the ROADMAP.md \"Multi-process sharded execution\" "
+             "follow-up (wiring NetSim-backed scenarios through "
+             "shard::run_sharded needs the workload-rebuild closure over "
+             "full scenario construction) — running unsharded; see also "
+             "README \"Sharded runs\"");
   }
   {
     guard::Watchdog watchdog(engine, opts_.guard, opts_.registry);

@@ -23,6 +23,7 @@
 #include "topology/brite.hpp"
 #include "topology/mabrite.hpp"
 #include "traffic/apps.hpp"
+#include "traffic/background.hpp"
 #include "traffic/http.hpp"
 
 namespace massf {
@@ -62,6 +63,11 @@ struct ScenarioOptions {
   std::int32_t num_clients = 400;  ///< HTTP clients (paper full: 8000)
   std::int32_t num_servers = 100;  ///< HTTP servers (paper full: 2000)
   HttpOptions http;
+  /// Long-lived background flows toward the HTTP servers (0 = none). With
+  /// netsim.link_model.kind == kHybrid these ride the analytic fluid fast
+  /// path; under the packet model they fall back to packet TCP.
+  std::int32_t num_bg_sources = 0;
+  BackgroundOptions background;
   AppKind app = AppKind::kNone;
   std::int32_t num_app_hosts = 16;
   ScaLapackOptions scalapack;
@@ -138,6 +144,7 @@ class Scenario {
   std::span<const NodeId> client_hosts() const { return clients_; }
   std::span<const NodeId> server_hosts() const { return servers_; }
   std::span<const NodeId> app_hosts() const { return app_hosts_; }
+  std::span<const NodeId> background_sources() const { return bg_sources_; }
 
   /// Traffic profile from the (cached) profiling run with the naive
   /// mapping.
@@ -196,7 +203,7 @@ class Scenario {
   bool last_guard_fired_ = false;
   Network net_;
   std::unique_ptr<ForwardingPlane> fp_;
-  std::vector<NodeId> clients_, servers_, app_hosts_;
+  std::vector<NodeId> clients_, servers_, app_hosts_, bg_sources_;
   std::optional<TrafficProfile> profile_;
 };
 

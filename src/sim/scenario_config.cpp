@@ -35,7 +35,15 @@ constexpr ScenarioSchemaKey kSchema[] = {
     {"", "sync", nullptr},
     {"", "load_bin_s", nullptr},
     {"", "seed", nullptr},
+    {"", "link_model", "link-model"},
     {"", "mapping", "mapping"},
+    {"background_flows", "sources", nullptr},
+    {"background_flows", "think_time_s", nullptr},
+    {"background_flows", "mean_bytes", nullptr},
+    {"background_flows", "fidelity", nullptr},
+    {"background_flows", "recompute_every", nullptr},
+    {"background_flows", "stall_timeout_s", nullptr},
+    {"background_flows", "rate_cap_bps", nullptr},
     {"rebalance", "enabled", "rebalance"},
     {"rebalance", "threshold", "rebalance-threshold"},
     {"rebalance", "every", "rebalance-every"},
@@ -123,6 +131,74 @@ std::string resolve_include(const std::string& include_dir,
 std::string dirname_of(const std::string& path) {
   const auto slash = path.find_last_of('/');
   return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool parse_background(const DmlNode& node, ScenarioOptions* o,
+                      std::string* error) {
+  for (const DmlAttribute& a : node.attributes) {
+    if (ignored_key(a.key)) continue;
+    if (a.child) return unknown_key(a, "background_flows [ ]", error);
+    std::int64_t i = 0;
+    double d = 0;
+    if (a.key == "sources") {
+      if (!atom_int(a, &i, error)) return false;
+      if (i < 0) {
+        if (error) *error = line_err(a.line, "'sources' must be >= 0");
+        return false;
+      }
+      o->num_bg_sources = static_cast<std::int32_t>(i);
+    } else if (a.key == "think_time_s") {
+      if (!atom_double(a, &d, error)) return false;
+      if (d <= 0) {
+        if (error) *error = line_err(a.line, "'think_time_s' must be > 0");
+        return false;
+      }
+      o->background.think_time_mean_s = d;
+    } else if (a.key == "mean_bytes") {
+      if (!atom_double(a, &d, error)) return false;
+      if (d < 1) {
+        if (error) *error = line_err(a.line, "'mean_bytes' must be >= 1");
+        return false;
+      }
+      o->background.flow_mean_bytes = d;
+    } else if (a.key == "fidelity") {
+      if (a.atom == "flow") {
+        o->background.flow_fidelity = true;
+      } else if (a.atom == "packet") {
+        o->background.flow_fidelity = false;
+      } else {
+        if (error) {
+          *error = line_err(a.line, "unknown fidelity '" + a.atom +
+                                        "' (flow|packet)");
+        }
+        return false;
+      }
+    } else if (a.key == "recompute_every") {
+      if (!atom_int(a, &i, error)) return false;
+      if (i < 1) {
+        if (error) *error = line_err(a.line, "'recompute_every' must be >= 1");
+        return false;
+      }
+      o->netsim.link_model.fluid_recompute_every = static_cast<std::int32_t>(i);
+    } else if (a.key == "stall_timeout_s") {
+      if (!atom_double(a, &d, error)) return false;
+      if (d <= 0) {
+        if (error) *error = line_err(a.line, "'stall_timeout_s' must be > 0");
+        return false;
+      }
+      o->netsim.link_model.fluid_stall_timeout_s = d;
+    } else if (a.key == "rate_cap_bps") {
+      if (!atom_double(a, &d, error)) return false;
+      if (d < 0) {
+        if (error) *error = line_err(a.line, "'rate_cap_bps' must be >= 0");
+        return false;
+      }
+      o->netsim.link_model.fluid_flow_rate_cap_bps = d;
+    } else {
+      return unknown_key(a, "background_flows [ ]", error);
+    }
+  }
+  return true;
 }
 
 bool parse_rebalance(const DmlNode& node, RebalanceOptions* o,
@@ -349,9 +425,22 @@ DmlNode scenario_spec_to_dml(const ScenarioSpec& spec) {
   e.add_atom("sync", std::string(sync_mode_name(o.sync)));
   e.add_atom("load_bin_s", to_seconds(o.load_bin));
   e.add_atom("seed", static_cast<std::int64_t>(o.seed));
+  e.add_atom("link_model",
+             std::string(link_model_kind_name(o.netsim.link_model.kind)));
   for (const MappingKind k : spec.mappings) {
     e.add_atom("mapping", std::string(mapping_kind_name(k)));
   }
+
+  DmlNode& bg = e.add_child("background_flows");
+  bg.add_atom("sources", static_cast<std::int64_t>(o.num_bg_sources));
+  bg.add_atom("think_time_s", o.background.think_time_mean_s);
+  bg.add_atom("mean_bytes", o.background.flow_mean_bytes);
+  bg.add_atom("fidelity",
+              std::string(o.background.flow_fidelity ? "flow" : "packet"));
+  bg.add_atom("recompute_every",
+              static_cast<std::int64_t>(o.netsim.link_model.fluid_recompute_every));
+  bg.add_atom("stall_timeout_s", o.netsim.link_model.fluid_stall_timeout_s);
+  bg.add_atom("rate_cap_bps", o.netsim.link_model.fluid_flow_rate_cap_bps);
 
   DmlNode& rb = e.add_child("rebalance");
   rb.add_atom("enabled",
@@ -413,7 +502,11 @@ std::optional<ScenarioSpec> scenario_spec_from_dml(
   for (const DmlAttribute& a : e->attributes) {
     if (ignored_key(a.key)) continue;
     if (a.child) {
-      if (a.key == "rebalance") {
+      if (a.key == "background_flows") {
+        if (!parse_background(*a.child, &o, error)) {
+          return std::nullopt;
+        }
+      } else if (a.key == "rebalance") {
         if (!parse_rebalance(*a.child, &o.rebalance, error)) {
           return std::nullopt;
         }
@@ -520,6 +613,14 @@ std::optional<ScenarioSpec> scenario_spec_from_dml(
     } else if (a.key == "seed") {
       if (!atom_int(a, &i, error)) return std::nullopt;
       o.seed = static_cast<std::uint64_t>(i);
+    } else if (a.key == "link_model") {
+      if (!parse_link_model_kind(a.atom, &o.netsim.link_model.kind)) {
+        if (error) {
+          *error = line_err(a.line, "unknown link_model '" + a.atom +
+                                        "' (packet|hybrid)");
+        }
+        return std::nullopt;
+      }
     } else if (a.key == "mapping") {
       const auto k = mapping_kind_from_name(a.atom);
       if (!k) {
@@ -589,6 +690,15 @@ void add_run_control_flags(FlagTable& flags) {
   flags.add_string("faults", "",
                    "fault schedule file (link flaps, crashes, loss bursts); "
                    "replaces the scenario's faults [ ] block");
+  flags.add_string("link-model", "packet",
+                   "network fidelity: 'packet' (per-packet events only) or "
+                   "'hybrid' (analytic fluid background flows)",
+                   [](const std::string& v) {
+                     LinkModelKind k;
+                     return parse_link_model_kind(v, &k)
+                                ? ""
+                                : "must be 'packet' or 'hybrid'";
+                   });
   flags.add_bool("rebalance", false,
                  "enable online LP rebalancing at window boundaries");
   flags.add_double("rebalance-threshold", 1.25,
@@ -686,6 +796,12 @@ bool apply_run_control_flags(const FlagTable& flags, ScenarioSpec* spec,
       return false;
     }
     spec->faults = *parsed;  // the flag replaces the file's faults block
+  }
+
+  if (flags.set("link-model")) {
+    // Validated by the flag's own validator; parse cannot fail here.
+    parse_link_model_kind(flags.get_string("link-model"),
+                          &o.netsim.link_model.kind);
   }
 
   if (flags.set("rebalance")) o.rebalance.enabled = flags.get_bool("rebalance");

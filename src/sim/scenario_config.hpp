@@ -23,7 +23,16 @@
 //     sync barrier          # barrier | channel (threaded protocol)
 //     load_bin_s 0          # per-engine load-trace bin (0 = off)
 //     seed 42
+//     link_model packet     # packet | hybrid (fluid background fast path)
 //     mapping HPROF         # repeatable: the run list (default HPROF)
+//     background_flows [    # long-lived flows toward the server pool
+//       sources 0           # 0 = no background-flow workload
+//       think_time_s 5.0  mean_bytes 1000000
+//       fidelity flow       # flow (fluid under hybrid) | packet (force TCP)
+//       recompute_every 8   # fluid rate-recompute cadence (boundaries)
+//       stall_timeout_s 60  # fail flows stalled at zero rate this long
+//       rate_cap_bps 0      # per-flow TCP window/RTT ceiling (0 = off)
+//     ]
 //     rebalance [ enabled 0  threshold 1.25  every 64  sustain 2
 //                 max_moves 8  fm_tolerance 1.05  fm_passes 4 ]
 //     ckpt [ every 0  path ""  stop_after 0  restore "" ]

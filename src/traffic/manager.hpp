@@ -28,6 +28,7 @@ enum class TrafficKind : std::uint32_t {
   kVm = 5,      ///< virtual-host CPU scheduler
   kPing = 6,    ///< echo-style latency probe
   kCbr = 7,     ///< constant-bit-rate UDP streams
+  kBackground = 8,  ///< long-lived background flows (flow-level fast path)
   kMax = 15,
 };
 

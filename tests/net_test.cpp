@@ -329,8 +329,8 @@ TEST(NetSim, LinkFlapFlowStillCompletes) {
         completed_at = e.now();
       });
   // Middle link (1-2) goes down during the transfer, back up 3 s later.
-  f.sim->schedule_link_state(*f.engine, 1, milliseconds(20), false);
-  f.sim->schedule_link_state(*f.engine, 1, seconds(3), true);
+  f.sim->link_model().schedule_link_state(*f.engine, 1, milliseconds(20), false);
+  f.sim->link_model().schedule_link_state(*f.engine, 1, seconds(3), true);
   f.sim->start_flow(*f.engine, milliseconds(1), 4, 5, 500000, 1);
   f.engine->run();
   const auto c = f.sim->totals();
@@ -355,7 +355,7 @@ TEST(NetSim, PermanentOutageAbandonsFlow) {
           ++completions;
         }
       });
-  f.sim->schedule_link_state(*f.engine, 1, milliseconds(10), false);
+  f.sim->link_model().schedule_link_state(*f.engine, 1, milliseconds(10), false);
   f.sim->start_flow(*f.engine, milliseconds(20), 4, 5, 100000, 1);
   const RunStats stats = f.engine->run();
   const auto c = f.sim->totals();
@@ -376,7 +376,7 @@ TEST(NetSim, UdpSilentlyLostOnDownLink) {
   std::uint32_t received = 0;
   f.sim->set_udp_receive(
       [&](Engine&, NetSim&, const Packet&) { ++received; });
-  f.sim->schedule_link_state(*f.engine, 0, milliseconds(1), false);
+  f.sim->link_model().schedule_link_state(*f.engine, 0, milliseconds(1), false);
   f.sim->send_udp(*f.engine, milliseconds(5), 4, 5, 500, 1);
   f.engine->run();
   EXPECT_EQ(received, 0u);

@@ -167,8 +167,8 @@ TEST(Agent, RetryRecoversFromTransientOutage) {
   Fixture f(AgentOptions{}, seconds(60), no);
   const LinkId down = f.access_link(f.hosts[1]);
   ASSERT_NE(down, kInvalidLink);
-  f.sim->schedule_link_state(*f.engine, down, milliseconds(1), false);
-  f.sim->schedule_link_state(*f.engine, down, seconds(10), true);
+  f.sim->link_model().schedule_link_state(*f.engine, down, milliseconds(1), false);
+  f.sim->link_model().schedule_link_state(*f.engine, down, seconds(10), true);
 
   Agent::SendRequest req;
   req.src_host = f.hosts[0];
@@ -197,7 +197,7 @@ TEST(Agent, DegradedModeAfterPermanentOutage) {
   ao.retry_backoff_s = 0.5;
   Fixture f(ao, seconds(60), no);
   const LinkId down = f.access_link(f.hosts[1]);
-  f.sim->schedule_link_state(*f.engine, down, milliseconds(1), false);
+  f.sim->link_model().schedule_link_state(*f.engine, down, milliseconds(1), false);
 
   std::uint32_t degraded_calls = 0;
   std::uint32_t degraded_cookie = 0;

@@ -44,6 +44,7 @@ ScenarioSpec shrink(ScenarioSpec spec, const std::string& tmp) {
   spec.options.num_as = std::min(spec.options.num_as, 4);
   spec.options.num_clients = 10;
   spec.options.num_servers = 4;
+  spec.options.num_bg_sources = std::min(spec.options.num_bg_sources, 8);
   // GridNPB's mixed workload partitions its hosts three ways and insists
   // on >= 9; 12 keeps every app kind happy while staying tiny.
   spec.options.num_app_hosts = std::min(spec.options.num_app_hosts, 12);

@@ -213,7 +213,10 @@ TEST(ScenarioSpec, EverySchemaKeyParses) {
       "  clients 10\n  servers 4\n  app none\n  app_hosts 4\n  engines 4\n"
       "  seconds 1\n  profile_seconds 0.3\n  think_time_s 1.0\n"
       "  file_mean_bytes 9000\n  executor_threads 2\n  sync channel\n"
-      "  load_bin_s 0.5\n  seed 9\n  mapping TOP\n"
+      "  load_bin_s 0.5\n  seed 9\n  link_model hybrid\n  mapping TOP\n"
+      "  background_flows [ sources 6  think_time_s 2.0  mean_bytes 50000\n"
+      "                     fidelity flow  recompute_every 4\n"
+      "                     stall_timeout_s 30  rate_cap_bps 1e7 ]\n"
       "  rebalance [ enabled 1  threshold 1.5  every 8  sustain 1\n"
       "              max_moves 2  fm_tolerance 1.01  fm_passes 2 ]\n"
       "  ckpt [ every 5  path x.ckpt  stop_after 1  restore \"\" ]\n"

@@ -384,8 +384,8 @@ TEST(Ping, LostOnDownLinkLeavesNoReply) {
   f.manager->add(TrafficKind::kPing, std::move(probe_ptr));
   // Cut the source host's access link: the request is dropped silently.
   const NodeId src = f.hosts[0];
-  f.sim->schedule_link_state(*f.engine, f.net.incident(src)[0].link,
-                             microseconds(100), false);
+  f.sim->link_model().schedule_link_state(
+      *f.engine, f.net.incident(src)[0].link, microseconds(100), false);
   probe->ping(*f.engine, *f.sim, src, f.hosts[3], milliseconds(1));
   f.engine->run();
   EXPECT_EQ(probe->replies(), 0u);
@@ -464,12 +464,13 @@ TEST(LinkStats, UtilizationReflectsCarriedBytes) {
   const LinkId access = net.incident(hosts[0])[0].link;
   const NetLink& l = net.links[static_cast<std::size_t>(access)];
   const int dir = l.a == hosts[0] ? 0 : 1;
-  const auto& bytes = sim.link_bytes();
+  const auto& bytes = sim.link_model().link_bytes();
   EXPECT_GE(bytes[static_cast<std::size_t>(access) * 2 +
                   static_cast<std::size_t>(dir)],
             500000u);
   // Utilization over the active second is meaningful and <= 1.
-  const double util = sim.link_utilization(access, dir, seconds(1));
+  const double util =
+      sim.link_model().link_utilization(access, dir, seconds(1));
   EXPECT_GT(util, 0.0);
   EXPECT_LE(util, 1.0);
 }
